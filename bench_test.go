@@ -1,0 +1,197 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per
+// figure (Figures 1–11), one for the Theorem 9 lower-bound check, one
+// per ablation, and micro-benchmarks for the primitives on the hot
+// path. Figure benchmarks run the corresponding experiment spec at a
+// reduced scale; `go run ./cmd/htdp -run figN -reps 20 -scale 1`
+// executes the full paper protocol.
+package htdp_test
+
+import (
+	"math"
+	"testing"
+
+	"htdp"
+	"htdp/internal/dp"
+	"htdp/internal/randx"
+	"htdp/internal/robust"
+)
+
+// benchCfg keeps per-iteration work bounded while exercising every code
+// path of the figure.
+var benchCfg = htdp.ExperimentConfig{Reps: 2, Scale: 0.02, Seed: 1}
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	spec, err := htdp.LookupExperiment(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		panels := spec.Run(benchCfg)
+		if len(panels) == 0 {
+			b.Fatal("no panels")
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)  { benchFigure(b, "fig1") }
+func BenchmarkFig2(b *testing.B)  { benchFigure(b, "fig2") }
+func BenchmarkFig3(b *testing.B)  { benchFigure(b, "fig3") }
+func BenchmarkFig4(b *testing.B)  { benchFigure(b, "fig4") }
+func BenchmarkFig5(b *testing.B)  { benchFigure(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchFigure(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchFigure(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchFigure(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchFigure(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
+
+func BenchmarkLowerBound(b *testing.B)          { benchFigure(b, "lowerbound") }
+func BenchmarkAblationEstimators(b *testing.B)  { benchFigure(b, "abl-estimators") }
+func BenchmarkAblationAlg1VsAlg2(b *testing.B)  { benchFigure(b, "abl-alg1-vs-alg2") }
+func BenchmarkAblationShrinkK(b *testing.B)     { benchFigure(b, "abl-shrink-k") }
+func BenchmarkAblationSelection(b *testing.B)   { benchFigure(b, "abl-selection") }
+func BenchmarkAblationSplitVsFull(b *testing.B) { benchFigure(b, "abl-split-vs-full") }
+
+// --- primitive micro-benchmarks -------------------------------------
+
+// BenchmarkRobustMeanTerm measures one Catoni term evaluation — the
+// innermost operation of Algorithms 1 and 5 (n·d calls per iteration).
+func BenchmarkRobustMeanTerm(b *testing.B) {
+	e := robust.MeanEstimator{S: 10, Beta: 1}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += e.Term(float64(i%17) - 8)
+	}
+	_ = sink
+}
+
+// BenchmarkRobustGradient measures a full robust coordinate-wise
+// gradient estimate over a 1000-sample, 500-dimensional chunk.
+func BenchmarkRobustGradient(b *testing.B) {
+	const m, d = 1000, 500
+	r := randx.New(1)
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = r.NormalVec(make([]float64, d), 3)
+	}
+	e := robust.MeanEstimator{S: 20, Beta: 1}
+	dst := make([]float64, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EstimateVec(dst, rows)
+	}
+}
+
+// BenchmarkPeeling measures private top-50 selection in d=10000 — the
+// selection primitive of Algorithms 3 and 5.
+func BenchmarkPeeling(b *testing.B) {
+	r := randx.New(2)
+	v := r.NormalVec(make([]float64, 10000), 1)
+	rng := randx.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		htdp.Peeling(rng, v, 50, 1, 1e-5, 0.01)
+	}
+}
+
+// BenchmarkExponentialMechanism measures a private vertex selection
+// over the 2·d implicit vertices of an ℓ1 ball in d=10000.
+func BenchmarkExponentialMechanism(b *testing.B) {
+	r := randx.New(4)
+	g := r.NormalVec(make([]float64, 10000), 1)
+	ball := htdp.NewL1Ball(10000, 1)
+	rng := randx.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dp.ExponentialLazy(rng, ball.NumVertices(), func(j int) float64 {
+			return ball.VertexScore(j, g)
+		}, 0.01, 1)
+	}
+}
+
+// BenchmarkFrankWolfeRun measures a complete Algorithm 1 run on a
+// mid-sized heavy-tailed instance (n=5000, d=200).
+func BenchmarkFrankWolfeRun(b *testing.B) {
+	rng := randx.New(6)
+	ds := htdp.LinearData(rng, htdp.LinearOpt{
+		N: 5000, D: 200,
+		Feature: htdp.LogNormal{Mu: 0, Sigma: math.Sqrt(0.6)},
+		Noise:   htdp.Normal{Mu: 0, Sigma: math.Sqrt(0.1)},
+	})
+	dom := htdp.NewL1Ball(200, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := htdp.FrankWolfe(ds, htdp.FWOptions{
+			Loss: htdp.SquaredLoss{}, Domain: dom, Eps: 1, Rng: randx.New(int64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSparseMean measures the one-shot private sparse mean
+// estimator on n=5000, d=200.
+func BenchmarkSparseMean(b *testing.B) {
+	r := randx.New(8)
+	x := htdp.NewMat(5000, 200)
+	for i := range x.Data {
+		x.Data[i] = r.Normal()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := htdp.SparseMean(x, htdp.SparseMeanOptions{
+			Eps: 1, Delta: 1e-5, SStar: 10, Rng: randx.New(int64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPSGDStep measures minibatch DP-SGD (100 steps, batch 200)
+// on n=10000, d=100.
+func BenchmarkDPSGDStep(b *testing.B) {
+	rng := randx.New(9)
+	ds := htdp.LinearData(rng, htdp.LinearOpt{
+		N: 10000, D: 100,
+		Feature: htdp.LogNormal{Mu: 0, Sigma: 1},
+		Noise:   htdp.Normal{Mu: 0, Sigma: 0.3},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := htdp.DPSGD(ds, htdp.DPSGDOptions{
+			Loss: htdp.SquaredLoss{}, Eps: 1, Delta: 1e-5,
+			T: 100, Batch: 200, Clip: 2, LR: 0.01, Rng: randx.New(int64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSparseLinRegRun measures a complete Algorithm 3 run
+// (n=20000, d=400, s*=10).
+func BenchmarkSparseLinRegRun(b *testing.B) {
+	rng := randx.New(7)
+	w := htdp.SparseWStar(rng, 400, 10)
+	ds := htdp.LinearData(rng, htdp.LinearOpt{
+		N: 20000, D: 400,
+		Feature: htdp.Normal{Mu: 0, Sigma: math.Sqrt(5)},
+		Noise:   htdp.Shifted{Base: htdp.LogNormal{Mu: 0, Sigma: math.Sqrt(0.5)}},
+		WStar:   w,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := htdp.SparseLinReg(ds, htdp.SparseLinRegOptions{
+			Eps: 1, Delta: 1e-5, SStar: 10, Rng: randx.New(int64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

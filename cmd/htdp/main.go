@@ -1,0 +1,103 @@
+// Command htdp regenerates the paper's evaluation: every figure of §6
+// (Figures 1–11), the Theorem 9 lower-bound check, and the ablations,
+// as text tables or CSV.
+//
+// Usage:
+//
+//	htdp -list
+//	htdp -run fig1                 # quick run (Reps=5, Scale=0.1)
+//	htdp -run all -reps 20 -scale 1  # the paper's protocol
+//	htdp -run fig7 -csv -o fig7.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"htdp/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "htdp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("htdp", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list available experiments and exit")
+		runID  = fs.String("run", "", "experiment ID to run, or \"all\"")
+		reps   = fs.Int("reps", 5, "trials averaged per point (paper: 20)")
+		scale  = fs.Float64("scale", 0.1, "sample-size scale relative to the paper (paper: 1)")
+		seed   = fs.Int64("seed", 1, "base random seed")
+		csv    = fs.Bool("csv", false, "emit CSV instead of tables")
+		shapes = fs.Bool("shapes", false, "append a qualitative shape report per experiment")
+		out    = fs.String("o", "", "write output to this file instead of stdout")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *list {
+		for _, s := range experiments.Registry() {
+			fmt.Fprintf(w, "%-18s %s\n", s.ID, s.Description)
+		}
+		return nil
+	}
+	if *runID == "" {
+		return fmt.Errorf("nothing to do: pass -list or -run <id|all>")
+	}
+
+	var specs []experiments.Spec
+	if *runID == "all" {
+		specs = experiments.Registry()
+	} else {
+		s, err := experiments.Lookup(*runID)
+		if err != nil {
+			return err
+		}
+		specs = []experiments.Spec{s}
+	}
+
+	cfg := experiments.Config{Reps: *reps, Scale: *scale, Seed: *seed}
+	for _, s := range specs {
+		start := time.Now()
+		panels := s.Run(cfg)
+		if !*csv {
+			fmt.Fprintf(w, "\n### %s — %s (reps=%d scale=%g, %.1fs)\n",
+				s.ID, s.Description, *reps, *scale, time.Since(start).Seconds())
+		}
+		for _, p := range panels {
+			var err error
+			if *csv {
+				err = experiments.WriteCSV(w, p)
+			} else {
+				err = experiments.WriteTable(w, p)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if *shapes {
+			fmt.Fprintf(w, "\n-- shape report: %s --\n", s.ID)
+			experiments.WriteShapeReport(w, experiments.CheckShapes(panels, 0))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig1", "fig11", "lowerbound", "abl-estimators"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("expected usage error")
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig99"}, &buf); err == nil {
+		t.Fatal("expected lookup error")
+	}
+}
+
+func TestRunTinyTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "abl-shrink-k", "-reps", "2", "-scale", "0.01"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "abl-shrink-k") || !strings.Contains(out, "±") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunWithShapes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "abl-shrink-k", "-reps", "2", "-scale", "0.01", "-shapes"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shape report") {
+		t.Fatalf("missing shape report:\n%s", buf.String())
+	}
+}
+
+func TestRunCSVToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "abl-shrink-k", "-reps", "2", "-scale", "0.01", "-csv", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("CSV too short: %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "abl-shrink-k,a,") {
+		t.Fatalf("CSV row = %q", lines[0])
+	}
+}

@@ -1,0 +1,74 @@
+package htdp_test
+
+import (
+	"fmt"
+	"math"
+
+	"htdp"
+)
+
+// ExampleFrankWolfe runs Algorithm 1 end to end on a heavy-tailed
+// linear-regression instance and reports feasibility of the output.
+func ExampleFrankWolfe() {
+	rng := htdp.NewRNG(1)
+	ds := htdp.LinearData(rng, htdp.LinearOpt{
+		N: 2000, D: 50,
+		Feature: htdp.LogNormal{Mu: 0, Sigma: math.Sqrt(0.6)},
+		Noise:   htdp.Normal{Mu: 0, Sigma: math.Sqrt(0.1)},
+	})
+	dom := htdp.NewL1Ball(50, 1)
+	w, err := htdp.FrankWolfe(ds, htdp.FWOptions{
+		Loss: htdp.SquaredLoss{}, Domain: dom, Eps: 1, Rng: rng.Split(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("feasible=%v dim=%d\n", dom.Contains(w, 1e-9), len(w))
+	// Output: feasible=true dim=50
+}
+
+// ExamplePeeling shows the noiseless limit of the private top-s
+// selection: with λ = 0 it is exact hard thresholding.
+func ExamplePeeling() {
+	rng := htdp.NewRNG(2)
+	v := []float64{5, -7, 1, 3, -2}
+	out := htdp.Peeling(rng, v, 2, 1, 1e-5, 0)
+	fmt.Println(out)
+	// Output: [5 -7 0 0 0]
+}
+
+// ExampleRobustMean contrasts the Catoni-style estimator with the
+// empirical mean on data containing one enormous outlier.
+func ExampleRobustMean() {
+	xs := []float64{1, 2, 1.5, 0.5, 1, 1e9}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	robust := htdp.RobustMean(xs, 3, 1)
+	fmt.Printf("empirical mean dominated by outlier: %v\n", mean > 1e6)
+	fmt.Printf("robust mean stays near 1: %v\n", math.Abs(robust-1.2) < 1)
+	// Output:
+	// empirical mean dominated by outlier: true
+	// robust mean stays near 1: true
+}
+
+// ExampleAdvancedComposition splits a total (ε, δ) budget across 100
+// mechanisms per the paper's Lemma 2.
+func ExampleAdvancedComposition() {
+	per, err := htdp.AdvancedComposition(htdp.DPParams{Eps: 1, Delta: 1e-5}, 100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("per-round ε ≈ %.4f, δ′ ≈ %.0e\n", per.Eps, per.Delta)
+	// Output: per-round ε ≈ 0.0101, δ′ ≈ 1e-07
+}
+
+// ExampleMinimaxLowerBound evaluates the Theorem 9 floor for sparse
+// heavy-tailed mean estimation.
+func ExampleMinimaxLowerBound() {
+	lb := htdp.MinimaxLowerBound(1, 10, 1000, 100000, 1, 1e-6)
+	fmt.Printf("floor positive: %v\n", lb > 0)
+	// Output: floor positive: true
+}

@@ -1,0 +1,347 @@
+// Package htdp is a Go implementation of "High Dimensional
+// Differentially Private Stochastic Optimization with Heavy-tailed
+// Data" (Hu, Ni, Xiao, Wang; PODS 2022, arXiv:2107.11136): private
+// convex optimization when the dimension d far exceeds the sample size
+// n and the data distribution has only a few finite moments.
+//
+// The package re-exports the library's public surface from the internal
+// packages. The paper's algorithms:
+//
+//   - FrankWolfe — Algorithm 1, Heavy-tailed DP-FW: ε-DP optimization
+//     over a polytope via a Catoni-style robust coordinate-wise gradient
+//     estimator and the exponential mechanism. Excess risk
+//     Õ(log d/(nε)^{1/3}) under a gradient second-moment bound.
+//   - Lasso — Algorithm 2: entry-wise shrinkage plus DP-FW with advanced
+//     composition, (ε, δ)-DP. Excess risk Õ(log d/(nε)^{2/5}) under a
+//     fourth-moment bound.
+//   - SparseLinReg — Algorithm 3 (with Peeling, Algorithm 4): private
+//     iterative hard thresholding for the sparse linear model,
+//     Õ(s*²·log²d/(nε)).
+//   - SparseOpt — Algorithm 5: DP-SCO over the ℓ0 ball for smooth,
+//     strongly convex losses, Õ(s*^{3/2}·log d/(nε)).
+//
+// Baselines (NonprivateFW, NonprivateIHT, TalwarDPFW, DPGD,
+// RobustGaussianGD), the data generators of §6.1, and the experiment
+// registry reproducing Figures 1–11 are exported alongside.
+//
+// A minimal end-to-end run:
+//
+//	rng := htdp.NewRNG(1)
+//	ds := htdp.LinearData(rng, htdp.LinearOpt{
+//		N: 10000, D: 400,
+//		Feature: htdp.LogNormal{Mu: 0, Sigma: 0.77},
+//		Noise:   htdp.Normal{Mu: 0, Sigma: 0.32},
+//	})
+//	w, err := htdp.FrankWolfe(ds, htdp.FWOptions{
+//		Loss:   htdp.SquaredLoss{},
+//		Domain: htdp.NewL1Ball(400, 1),
+//		Eps:    1,
+//		Rng:    rng.Split(),
+//	})
+package htdp
+
+import (
+	"htdp/internal/core"
+	"htdp/internal/data"
+	"htdp/internal/dp"
+	"htdp/internal/experiments"
+	"htdp/internal/loss"
+	"htdp/internal/minimax"
+	"htdp/internal/polytope"
+	"htdp/internal/randx"
+	"htdp/internal/robust"
+	"htdp/internal/vecmath"
+)
+
+// RNG and distributions (internal/randx).
+type (
+	// RNG is the deterministic, splittable random source every
+	// algorithm consumes.
+	RNG = randx.RNG
+	// Dist is a scalar distribution; the concrete types below implement
+	// it and cover every law used in the paper's experiments.
+	Dist        = randx.Dist
+	Normal      = randx.Normal
+	Laplace     = randx.Laplace
+	LogNormal   = randx.LogNormal
+	StudentT    = randx.StudentT
+	Logistic    = randx.Logistic
+	LogLogistic = randx.LogLogistic
+	LogGamma    = randx.LogGamma
+	Pareto      = randx.Pareto
+	Shifted     = randx.Shifted
+	Mixture     = randx.Mixture
+)
+
+// NewRNG returns a deterministic random source.
+func NewRNG(seed int64) *RNG { return randx.New(seed) }
+
+// Datasets and generators (internal/data).
+type (
+	Dataset     = data.Dataset
+	LinearOpt   = data.LinearOpt
+	LogisticOpt = data.LogisticOpt
+	RealSpec    = data.RealSpec
+)
+
+// LinearData generates the §6.1 linear model y = ⟨w*, x⟩ + ι.
+func LinearData(r *RNG, opt LinearOpt) *Dataset { return data.Linear(r, opt) }
+
+// LogisticData generates the §6.1 classification model.
+func LogisticData(r *RNG, opt LogisticOpt) *Dataset { return data.LogisticModel(r, opt) }
+
+// SparseWStar samples the §6.1 s*-sparse parameter on the unit sphere.
+func SparseWStar(r *RNG, d, sStar int) []float64 { return data.SparseWStar(r, d, sStar) }
+
+// SimulatedReal deterministically generates the stand-in for one of the
+// paper's UCI datasets (see DESIGN.md, "Substitutions").
+func SimulatedReal(r *RNG, spec RealSpec, scale float64) *Dataset {
+	return data.SimulatedReal(r, spec, scale)
+}
+
+// RealSpecs lists the four §6.1 dataset profiles.
+func RealSpecs() []RealSpec { return data.RealSpecs }
+
+// Losses (internal/loss).
+type (
+	Loss            = loss.Loss
+	SquaredLoss     = loss.Squared
+	LogisticLoss    = loss.Logistic
+	RegLogisticLoss = loss.RegLogistic
+	BiweightLoss    = loss.Biweight
+	MeanSquaredLoss = loss.MeanSquared
+)
+
+// EmpiricalRisk evaluates (1/n)·Σ ℓ(w, (xᵢ, yᵢ)) on ds.
+func EmpiricalRisk(l Loss, w []float64, ds *Dataset) float64 {
+	return loss.Empirical(l, w, ds.X, ds.Y)
+}
+
+// ExcessRisk evaluates EmpiricalRisk(w) − EmpiricalRisk(ref).
+func ExcessRisk(l Loss, w, ref []float64, ds *Dataset) float64 {
+	return loss.ExcessRisk(l, w, ref, ds.X, ds.Y)
+}
+
+// Constraint sets (internal/polytope).
+type (
+	Polytope = polytope.Polytope
+	L1Ball   = polytope.L1Ball
+	Simplex  = polytope.Simplex
+)
+
+// NewL1Ball returns the ℓ1 ball of the given radius in R^dims.
+func NewL1Ball(dims int, radius float64) L1Ball { return polytope.NewL1Ball(dims, radius) }
+
+// NewSimplex returns the probability simplex in R^dims.
+func NewSimplex(dims int) Simplex { return polytope.NewSimplex(dims) }
+
+// The paper's algorithms (internal/core).
+type (
+	FWOptions           = core.FWOptions
+	LassoOptions        = core.LassoOptions
+	SparseLinRegOptions = core.SparseLinRegOptions
+	SparseOptOptions    = core.SparseOptOptions
+)
+
+// FrankWolfe runs Heavy-tailed DP-FW (Algorithm 1); the run is ε-DP.
+func FrankWolfe(ds *Dataset, opt FWOptions) ([]float64, error) {
+	return core.FrankWolfe(ds, opt)
+}
+
+// Lasso runs Heavy-tailed Private LASSO (Algorithm 2); (ε, δ)-DP.
+func Lasso(ds *Dataset, opt LassoOptions) ([]float64, error) {
+	return core.Lasso(ds, opt)
+}
+
+// SparseLinReg runs Heavy-tailed Private Sparse Linear Regression
+// (Algorithm 3); (ε, δ)-DP.
+func SparseLinReg(ds *Dataset, opt SparseLinRegOptions) ([]float64, error) {
+	return core.SparseLinReg(ds, opt)
+}
+
+// SparseOpt runs Heavy-tailed Private Sparse Optimization
+// (Algorithm 5); (ε, δ)-DP.
+func SparseOpt(ds *Dataset, opt SparseOptOptions) ([]float64, error) {
+	return core.SparseOpt(ds, opt)
+}
+
+// Peeling is the (ε, δ)-DP noisy top-s selection of Algorithm 4; lambda
+// bounds the ℓ∞-sensitivity of v.
+func Peeling(r *RNG, v []float64, s int, eps, delta, lambda float64) []float64 {
+	return core.Peeling(r, v, s, eps, delta, lambda)
+}
+
+// Extensions beyond the paper's listings (internal/core).
+type (
+	SparseMeanOptions       = core.SparseMeanOptions
+	RobustRegressionOptions = core.RobustRegressionOptions
+	FullDataFWOptions       = core.FullDataFWOptions
+)
+
+// SparseMean is the one-shot (ε, δ)-DP sparse heavy-tailed mean
+// estimator: robust coordinate means plus a single Peeling release.
+func SparseMean(x *Mat, opt SparseMeanOptions) ([]float64, error) {
+	return core.SparseMean(x, opt)
+}
+
+// RobustRegression runs the Theorem 3 instance: ε-DP Frank–Wolfe on the
+// non-convex biweight loss with the constant-step schedule.
+func RobustRegression(ds *Dataset, opt RobustRegressionOptions) ([]float64, error) {
+	return core.RobustRegression(ds, opt)
+}
+
+// FullDataFW is the (ε, δ)-DP full-data variant of Algorithm 1 whose
+// utility analysis the paper leaves open; privacy holds by advanced
+// composition.
+func FullDataFW(ds *Dataset, opt FullDataFWOptions) ([]float64, error) {
+	return core.FullDataFW(ds, opt)
+}
+
+// Baselines (internal/core).
+type (
+	TalwarFWOptions         = core.TalwarFWOptions
+	DPGDOptions             = core.DPGDOptions
+	DPSGDOptions            = core.DPSGDOptions
+	RobustGaussianGDOptions = core.RobustGaussianGDOptions
+)
+
+// DPSGD runs minibatch DP-SGD with subsampling amplification.
+func DPSGD(ds *Dataset, opt DPSGDOptions) ([]float64, error) {
+	return core.DPSGD(ds, opt)
+}
+
+// NonprivateFW runs exact Frank–Wolfe (the ε→∞ reference).
+func NonprivateFW(ds *Dataset, l Loss, p Polytope, T int, w0 []float64) []float64 {
+	return core.NonprivateFW(ds, l, p, T, w0)
+}
+
+// NonprivateIHT runs exact iterative hard thresholding on squared loss.
+func NonprivateIHT(ds *Dataset, s, T int, eta float64) []float64 {
+	return core.NonprivateIHT(ds, s, T, eta)
+}
+
+// TalwarDPFW runs the clipping-based DP-FW baseline of [50].
+func TalwarDPFW(ds *Dataset, opt TalwarFWOptions) ([]float64, error) {
+	return core.TalwarDPFW(ds, opt)
+}
+
+// DPGD runs the gradient-clipping DP-GD baseline of [1].
+func DPGD(ds *Dataset, opt DPGDOptions) ([]float64, error) {
+	return core.DPGD(ds, opt)
+}
+
+// RobustGaussianGD runs the robust-plus-Gaussian baseline of [57].
+func RobustGaussianGD(ds *Dataset, opt RobustGaussianGDOptions) ([]float64, error) {
+	return core.RobustGaussianGD(ds, opt)
+}
+
+// Robust statistics (internal/robust).
+type (
+	// MeanEstimator is the Catoni–Giulini robust scalar mean estimator
+	// ˆx(s, β) of eqs. (1)–(5).
+	MeanEstimator = robust.MeanEstimator
+)
+
+// RobustMean estimates E x from heavy-tailed samples with truncation
+// scale s and smoothing precision beta.
+func RobustMean(xs []float64, s, beta float64) float64 {
+	return robust.MeanEstimator{S: s, Beta: beta}.Estimate(xs)
+}
+
+// CatoniMean is Catoni's classical (non-private) M-estimator with the
+// scale CatoniAlpha(n, v, ζ).
+func CatoniMean(xs []float64, alpha float64) float64 { return robust.CatoniMean(xs, alpha) }
+
+// CatoniAlpha returns the classical Catoni scale √(n·v/(2·log(1/ζ))).
+func CatoniAlpha(n int, v, zeta float64) float64 { return robust.CatoniAlpha(n, v, zeta) }
+
+// MedianOfMeans is the k-block median-of-means robust mean baseline.
+func MedianOfMeans(xs []float64, k int) float64 { return robust.MedianOfMeans(xs, k) }
+
+// GeometricMedian is the Weiszfeld geometric median of the rows.
+func GeometricMedian(rows [][]float64) []float64 {
+	return robust.GeometricMedian(rows, 500, 1e-10)
+}
+
+// SecondMomentUpperBound estimates a data-driven moment bound τ̂ via
+// median-of-means on the squares, inflated by the given factor — a
+// practical substitute for the paper's assumption that τ is known.
+func SecondMomentUpperBound(xs []float64, blocks int, inflation float64) float64 {
+	return robust.SecondMomentUpperBound(xs, blocks, inflation)
+}
+
+// DP mechanisms (internal/dp).
+type (
+	// DPParams is an (ε, δ) privacy budget.
+	DPParams = dp.Params
+)
+
+// AdvancedComposition splits a total (ε, δ) budget across T mechanisms
+// per Lemma 2.
+func AdvancedComposition(total DPParams, T int) (DPParams, error) {
+	return dp.AdvancedComposition(total, T)
+}
+
+// Lower bound (internal/minimax).
+
+// MinimaxLowerBound returns the Theorem 9 private minimax floor for
+// sparse heavy-tailed mean estimation in squared ℓ2 error.
+func MinimaxLowerBound(tau float64, s, d, n int, eps, delta float64) float64 {
+	return minimax.LowerBound(tau, s, d, n, eps, delta)
+}
+
+// Experiments (internal/experiments).
+type (
+	ExperimentConfig = experiments.Config
+	ExperimentSpec   = experiments.Spec
+	Panel            = experiments.Panel
+	Series           = experiments.Series
+)
+
+// Experiments returns the registry reproducing Figures 1–11, the
+// Theorem 9 check, and the ablations.
+func Experiments() []ExperimentSpec { return experiments.Registry() }
+
+// LookupExperiment finds an experiment by ID (e.g. "fig7").
+func LookupExperiment(id string) (ExperimentSpec, error) { return experiments.Lookup(id) }
+
+// Rényi-DP accounting (internal/dp).
+type (
+	// RDP is a Rényi-DP curve; compose with Compose/SelfCompose and
+	// convert with ToDP.
+	RDP = dp.RDP
+)
+
+// GaussianRDP returns the RDP curve of a Gaussian mechanism.
+func GaussianRDP(sigma, sensitivity float64) RDP { return dp.GaussianRDP(sigma, sensitivity) }
+
+// GaussianSigmaRDP calibrates σ for T-fold Gaussian composition under
+// RDP accounting (tighter than advanced composition).
+func GaussianSigmaRDP(sensitivity float64, p DPParams, T int) float64 {
+	return dp.GaussianSigmaRDP(sensitivity, p, T)
+}
+
+// AmplifyBySubsampling applies the classical subsampling amplification
+// lemma to an (ε, δ) guarantee.
+func AmplifyBySubsampling(p DPParams, q float64) DPParams {
+	return dp.AmplifyBySubsampling(p, q)
+}
+
+// Vector and matrix utilities commonly needed around the API
+// (internal/vecmath).
+type (
+	// Mat is the dense row-major matrix backing Dataset features.
+	Mat = vecmath.Mat
+)
+
+// NewMat allocates a zeroed r×c matrix.
+func NewMat(r, c int) *Mat { return vecmath.NewMat(r, c) }
+
+// Norm2 returns ‖v‖₂.
+func Norm2(v []float64) float64 { return vecmath.Norm2(v) }
+
+// Dist2 returns ‖a−b‖₂.
+func Dist2(a, b []float64) float64 { return vecmath.Dist2(a, b) }
+
+// Norm0 returns the number of non-zeros.
+func Norm0(v []float64) int { return vecmath.Norm0(v) }

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"htdp/internal/data"
+	"htdp/internal/dp"
+	"htdp/internal/loss"
+	"htdp/internal/polytope"
+	"htdp/internal/randx"
+	"htdp/internal/robust"
+	"htdp/internal/vecmath"
+)
+
+// NonprivateFW runs exact Frank–Wolfe for T iterations: the full
+// empirical gradient and exact linear minimization over the vertex set.
+// The experiments use it both as the ε→∞ reference and to compute the
+// non-private optimum w* for excess-risk measurements (§6.2).
+func NonprivateFW(ds *data.Dataset, l loss.Loss, p polytope.Polytope, T int, w0 []float64) []float64 {
+	d := ds.D()
+	w := make([]float64, d)
+	if w0 != nil {
+		copy(w, w0)
+	}
+	grad := make([]float64, d)
+	vtx := make([]float64, d)
+	for t := 1; t <= T; t++ {
+		loss.FullGradient(l, grad, w, ds.X, ds.Y)
+		p.Vertex(polytope.ArgminLinear(p, grad), vtx)
+		vecmath.Lerp(w, w, vtx, 2/float64(t+2))
+	}
+	return w
+}
+
+// NonprivateIHT runs plain iterative hard thresholding on the squared
+// loss: full-gradient steps followed by exact top-s truncation and
+// projection onto the unit ℓ2 ball — the ε→∞ reference for Algorithm 3.
+func NonprivateIHT(ds *data.Dataset, s, T int, eta float64) []float64 {
+	d := ds.D()
+	w := make([]float64, d)
+	grad := make([]float64, d)
+	n := ds.N()
+	for t := 1; t <= T; t++ {
+		vecmath.Zero(grad)
+		for i := 0; i < n; i++ {
+			row := ds.X.Row(i)
+			r := vecmath.Dot(row, w) - ds.Y[i]
+			vecmath.Axpy(r, row, grad)
+		}
+		vecmath.Axpy(-eta/float64(n), grad, w)
+		w = vecmath.HardThreshold(w, s)
+		vecmath.ProjectL2Ball(w, 1)
+	}
+	return w
+}
+
+// NonprivateSparseGD runs full-gradient descent with exact hard
+// thresholding for an arbitrary loss — the ε→∞ reference for
+// Algorithm 5.
+func NonprivateSparseGD(ds *data.Dataset, l loss.Loss, s, T int, eta float64) []float64 {
+	d := ds.D()
+	w := make([]float64, d)
+	grad := make([]float64, d)
+	for t := 1; t <= T; t++ {
+		loss.FullGradient(l, grad, w, ds.X, ds.Y)
+		vecmath.Axpy(-eta, grad, w)
+		w = vecmath.HardThreshold(w, s)
+	}
+	return w
+}
+
+// TalwarFWOptions configures the regular-data DP Frank–Wolfe baseline of
+// Talwar, Thakurta and Zhang [50]: it assumes an ℓ1-Lipschitz loss, so
+// on heavy-tailed data we enforce the assumption by clipping every
+// per-sample gradient coordinate at GradBound — exactly the naive
+// truncation strategy whose bias the paper's estimator avoids.
+type TalwarFWOptions struct {
+	Loss      loss.Loss
+	Domain    polytope.Polytope
+	Eps       float64
+	Delta     float64
+	T         int     // 0 → ⌈(nε)^{2/3}⌉ (their theory-optimal order)
+	GradBound float64 // ℓ∞ clip per sample gradient; 0 → 1
+	W0        []float64
+	Rng       *randx.RNG
+}
+
+// TalwarDPFW runs the [50]-style DP-FW baseline. Each iteration scores
+// vertices against the clipped full-data gradient; the score sensitivity
+// is ‖W‖₁·2·GradBound/n and the per-iteration budget comes from advanced
+// composition, so the run is (ε, δ)-DP.
+func TalwarDPFW(ds *data.Dataset, opt TalwarFWOptions) ([]float64, error) {
+	if opt.Loss == nil || opt.Domain == nil || opt.Rng == nil {
+		return nil, errors.New("core: TalwarFWOptions needs Loss, Domain and Rng")
+	}
+	if err := (dp.Params{Eps: opt.Eps, Delta: opt.Delta}).Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Delta == 0 {
+		return nil, errors.New("core: TalwarDPFW needs δ > 0")
+	}
+	n, d := ds.N(), ds.D()
+	if opt.T == 0 {
+		opt.T = int(math.Ceil(math.Pow(float64(n)*opt.Eps, 2.0/3)))
+	}
+	if opt.T < 1 {
+		opt.T = 1
+	}
+	if opt.GradBound == 0 {
+		opt.GradBound = 1
+	}
+	epsIter := opt.Eps / (2 * math.Sqrt(2*float64(opt.T)*math.Log(1/opt.Delta)))
+	sens := maxVertexL1(opt.Domain) * 2 * opt.GradBound / float64(n)
+
+	w := make([]float64, d)
+	if opt.W0 != nil {
+		copy(w, opt.W0)
+	}
+	grad := make([]float64, d)
+	buf := make([]float64, d)
+	vtx := make([]float64, d)
+	for t := 1; t <= opt.T; t++ {
+		vecmath.Zero(grad)
+		for i := 0; i < n; i++ {
+			opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
+			vecmath.Clip(buf, opt.GradBound)
+			vecmath.Axpy(1, buf, grad)
+		}
+		vecmath.Scale(grad, 1/float64(n))
+		idx := dp.ExponentialLazy(opt.Rng, opt.Domain.NumVertices(), func(i int) float64 {
+			return opt.Domain.VertexScore(i, grad)
+		}, sens, epsIter)
+		opt.Domain.Vertex(idx, vtx)
+		vecmath.Lerp(w, w, vtx, 2/float64(t+2))
+	}
+	return w, nil
+}
+
+// DPGDOptions configures the clipping-based DP gradient descent baseline
+// in the style of Abadi et al. [1]: per-sample ℓ2 clipping at Clip,
+// Gaussian noise calibrated by advanced composition, and projection onto
+// the domain after every step.
+type DPGDOptions struct {
+	Loss    loss.Loss
+	Project func(w []float64) []float64 // feasibility map (nil → identity)
+	Eps     float64
+	Delta   float64
+	T       int     // 0 → 50
+	Clip    float64 // ℓ2 clip bound C; 0 → 1
+	LR      float64 // step size; 0 → 0.1
+	Rng     *randx.RNG
+}
+
+// DPGD runs noisy projected gradient descent over the full data each
+// step. Replacing a sample moves the clipped mean gradient by at most
+// 2C/n in ℓ2, so with per-step budget from advanced composition the run
+// is (ε, δ)-DP.
+func DPGD(ds *data.Dataset, opt DPGDOptions) ([]float64, error) {
+	if opt.Loss == nil || opt.Rng == nil {
+		return nil, errors.New("core: DPGDOptions needs Loss and Rng")
+	}
+	if err := (dp.Params{Eps: opt.Eps, Delta: opt.Delta}).Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Delta == 0 {
+		return nil, errors.New("core: DPGD needs δ > 0")
+	}
+	if opt.T == 0 {
+		opt.T = 50
+	}
+	if opt.Clip == 0 {
+		opt.Clip = 1
+	}
+	if opt.LR == 0 {
+		opt.LR = 0.1
+	}
+	n, d := ds.N(), ds.D()
+	perIter, err := dp.AdvancedComposition(dp.Params{Eps: opt.Eps, Delta: opt.Delta}, opt.T)
+	if err != nil {
+		return nil, fmt.Errorf("core: DPGD composition: %w", err)
+	}
+	sigma := dp.GaussianSigma(2*opt.Clip/float64(n), perIter)
+
+	w := make([]float64, d)
+	grad := make([]float64, d)
+	buf := make([]float64, d)
+	for t := 1; t <= opt.T; t++ {
+		vecmath.Zero(grad)
+		for i := 0; i < n; i++ {
+			opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
+			vecmath.ClipL2(buf, opt.Clip)
+			vecmath.Axpy(1, buf, grad)
+		}
+		vecmath.Scale(grad, 1/float64(n))
+		for j := range grad {
+			grad[j] += sigma * opt.Rng.Normal()
+		}
+		vecmath.Axpy(-opt.LR, grad, w)
+		if opt.Project != nil {
+			opt.Project(w)
+		}
+	}
+	return w, nil
+}
+
+// DPSGDOptions configures true minibatch DP-SGD in the style of Abadi
+// et al. [1]: each step samples a batch uniformly, clips per-sample
+// gradients in ℓ2, and adds Gaussian noise. The per-step budget comes
+// from advanced composition applied to the subsampling-amplified
+// per-step guarantee, so small batches buy smaller noise.
+type DPSGDOptions struct {
+	Loss    loss.Loss
+	Project func(w []float64) []float64
+	Eps     float64
+	Delta   float64
+	T       int     // steps; 0 → 200
+	Batch   int     // batch size; 0 → max(1, n/50)
+	Clip    float64 // per-sample ℓ2 clip; 0 → 1
+	LR      float64 // 0 → 0.1
+	Rng     *randx.RNG
+}
+
+// DPSGD runs minibatch noisy SGD. Privacy: one step on a uniform batch
+// of size b is (ε₀, δ₀)-DP with ε₀ amplified by q = b/n; we choose the
+// per-step budget so that T-fold advanced composition of the amplified
+// guarantees meets (ε, δ). The search over the per-step budget is a
+// simple doubling/bisection on the amplification equation.
+func DPSGD(ds *data.Dataset, opt DPSGDOptions) ([]float64, error) {
+	if opt.Loss == nil || opt.Rng == nil {
+		return nil, errors.New("core: DPSGDOptions needs Loss and Rng")
+	}
+	if err := (dp.Params{Eps: opt.Eps, Delta: opt.Delta}).Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Delta == 0 {
+		return nil, errors.New("core: DPSGD needs δ > 0")
+	}
+	n, d := ds.N(), ds.D()
+	if opt.T == 0 {
+		opt.T = 200
+	}
+	if opt.Batch == 0 {
+		opt.Batch = n / 50
+	}
+	if opt.Batch < 1 {
+		opt.Batch = 1
+	}
+	if opt.Batch > n {
+		opt.Batch = n
+	}
+	if opt.Clip == 0 {
+		opt.Clip = 1
+	}
+	if opt.LR == 0 {
+		opt.LR = 0.1
+	}
+	q := float64(opt.Batch) / float64(n)
+	// Per-step amplified target from advanced composition.
+	perStep, err := dp.AdvancedComposition(dp.Params{Eps: opt.Eps, Delta: opt.Delta}, opt.T)
+	if err != nil {
+		return nil, fmt.Errorf("core: DPSGD composition: %w", err)
+	}
+	// Invert amplification: find the largest ε₀ with
+	// log(1+q(e^{ε₀}−1)) ≤ perStep.Eps and q·δ₀ ≤ perStep.Delta.
+	eps0 := math.Log1p((math.Exp(perStep.Eps) - 1) / q)
+	delta0 := perStep.Delta / q
+	if delta0 >= 1 {
+		delta0 = perStep.Delta // degenerate q; stay conservative
+	}
+	// Gaussian mechanism on the batch-mean gradient: replacing one
+	// sample moves it by ≤ 2C/b.
+	sigma := dp.GaussianSigma(2*opt.Clip/float64(opt.Batch), dp.Params{Eps: eps0, Delta: delta0})
+
+	w := make([]float64, d)
+	grad := make([]float64, d)
+	buf := make([]float64, d)
+	for t := 1; t <= opt.T; t++ {
+		vecmath.Zero(grad)
+		for b := 0; b < opt.Batch; b++ {
+			i := opt.Rng.Intn(n)
+			opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
+			vecmath.ClipL2(buf, opt.Clip)
+			vecmath.Axpy(1, buf, grad)
+		}
+		vecmath.Scale(grad, 1/float64(opt.Batch))
+		for j := range grad {
+			grad[j] += sigma * opt.Rng.Normal()
+		}
+		vecmath.Axpy(-opt.LR, grad, w)
+		if opt.Project != nil {
+			opt.Project(w)
+		}
+	}
+	return w, nil
+}
+
+// RobustGaussianGDOptions configures the low-dimensional baseline in the
+// style of Wang, Xiao, Devadas and Xu [57]: the same Catoni robust
+// coordinate gradient as Algorithm 1, but privatized by adding Gaussian
+// noise to the whole d-dimensional vector instead of selecting through
+// the exponential mechanism — which is why its error scales
+// polynomially in d (Remark 1) and it loses in high dimension.
+type RobustGaussianGDOptions struct {
+	Loss    loss.Loss
+	Project func(w []float64) []float64
+	Eps     float64
+	Delta   float64
+	T       int     // 0 → 20
+	S       float64 // robust truncation scale; 0 → √n (the [57] choice)
+	Beta    float64 // 0 → 1
+	LR      float64 // 0 → 0.1
+	Rng     *randx.RNG
+}
+
+// RobustGaussianGD runs the [57]-style baseline. The robust estimate of
+// one chunk has ℓ2-sensitivity √d·4√2·s/(3m); Gaussian noise at the
+// per-iteration budget (disjoint chunks, so no composition) gives
+// (ε, δ)-DP.
+func RobustGaussianGD(ds *data.Dataset, opt RobustGaussianGDOptions) ([]float64, error) {
+	if opt.Loss == nil || opt.Rng == nil {
+		return nil, errors.New("core: RobustGaussianGDOptions needs Loss and Rng")
+	}
+	if err := (dp.Params{Eps: opt.Eps, Delta: opt.Delta}).Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Delta == 0 {
+		return nil, errors.New("core: RobustGaussianGD needs δ > 0")
+	}
+	if opt.T == 0 {
+		opt.T = 20
+	}
+	n, d := ds.N(), ds.D()
+	if opt.T > n {
+		opt.T = n
+	}
+	if opt.S == 0 {
+		opt.S = math.Sqrt(float64(n))
+	}
+	if opt.Beta == 0 {
+		opt.Beta = 1
+	}
+	if opt.LR == 0 {
+		opt.LR = 0.1
+	}
+	est := robust.MeanEstimator{S: opt.S, Beta: opt.Beta}
+	parts := ds.Split(opt.T)
+
+	w := make([]float64, d)
+	grad := make([]float64, d)
+	for t := 1; t <= opt.T; t++ {
+		part := parts[t-1]
+		m := part.N()
+		est.EstimateFunc(grad, m, func(i int, buf []float64) {
+			opt.Loss.Grad(buf, w, part.X.Row(i), part.Y[i])
+		})
+		l2sens := math.Sqrt(float64(d)) * est.Sensitivity(m)
+		dp.GaussianMechanism(opt.Rng, grad, l2sens, dp.Params{Eps: opt.Eps, Delta: opt.Delta})
+		vecmath.Axpy(-opt.LR, grad, w)
+		if opt.Project != nil {
+			opt.Project(w)
+		}
+	}
+	return w, nil
+}

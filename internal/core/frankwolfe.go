@@ -1,0 +1,192 @@
+// Package core implements the paper's contribution: the four private
+// optimization algorithms for heavy-tailed data in high dimension —
+// Heavy-tailed DP-FW (Algorithm 1), Heavy-tailed Private LASSO
+// (Algorithm 2), Heavy-tailed Private Sparse Linear Regression
+// (Algorithm 3, with the Peeling primitive of Algorithm 4), and
+// Heavy-tailed Private Sparse Optimization (Algorithm 5) — plus the
+// baselines the experiments compare against (non-private Frank–Wolfe
+// and IHT, the DP-FW of Talwar et al. for regular data, DP-GD with
+// gradient clipping, and the robust-plus-Gaussian estimator in the
+// style of Wang et al.).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"htdp/internal/data"
+	"htdp/internal/dp"
+	"htdp/internal/loss"
+	"htdp/internal/polytope"
+	"htdp/internal/randx"
+	"htdp/internal/robust"
+	"htdp/internal/vecmath"
+)
+
+// Trace receives the iterate after every step; t counts from 1. Any
+// option struct with a Trace field calls it for diagnostics and tests.
+type Trace func(t int, w []float64)
+
+// FWOptions configures Heavy-tailed DP-FW (Algorithm 1), the ε-DP
+// Frank–Wolfe over a polytope with a Catoni-style robust coordinate-wise
+// gradient estimator and the exponential mechanism as linear oracle.
+type FWOptions struct {
+	Loss   loss.Loss         // per-sample loss ℓ(w, (x, y))
+	Domain polytope.Polytope // W = conv(V)
+	Eps    float64           // total privacy budget ε (pure DP)
+
+	// T is the number of iterations (and data chunks). 0 selects the
+	// Theorem-2 default ⌊(nε)^{1/3}⌋ clamped to [1, n].
+	T int
+	// S is the truncation scale s of the robust estimator. 0 selects the
+	// Theorem-2 default √(nε·τ / (T·log(|V|·d·T/ζ))).
+	S float64
+	// Beta is the smoothing precision β (0 → 1, the paper's O(1) choice).
+	Beta float64
+	// Tau bounds the per-coordinate gradient second moment
+	// E[(∇ⱼℓ)²] ≤ τ of Assumption 1 (0 → 1).
+	Tau float64
+	// Zeta is the failure probability ζ entering the default S (0 → 0.05).
+	Zeta float64
+	// EtaConst, when positive, fixes a constant step size (Theorem 3's
+	// robust-regression schedule η = 1/√T); otherwise the classical
+	// Frank–Wolfe schedule η_t = 2/(t+2) is used.
+	EtaConst float64
+	// W0 is the initial iterate (nil → the zero vector, which lies in
+	// every domain this package ships). It must belong to Domain.
+	W0 []float64
+	// Average, when true, returns the uniform average of the iterates
+	// w₁…w_T instead of the last iterate — a standard variance-reduction
+	// post-processing that costs no additional privacy.
+	Average bool
+
+	Rng   *randx.RNG
+	Trace Trace
+}
+
+func (o *FWOptions) fill(ds *data.Dataset) error {
+	if o.Loss == nil || o.Domain == nil || o.Rng == nil {
+		return errors.New("core: FWOptions needs Loss, Domain and Rng")
+	}
+	if err := (dp.Params{Eps: o.Eps}).Validate(); err != nil {
+		return err
+	}
+	n := ds.N()
+	if n < 1 {
+		return errors.New("core: empty dataset")
+	}
+	if o.Domain.Dim() != ds.D() {
+		return fmt.Errorf("core: domain dim %d != data dim %d", o.Domain.Dim(), ds.D())
+	}
+	if o.Beta == 0 {
+		o.Beta = 1
+	}
+	if o.Tau == 0 {
+		o.Tau = 1
+	}
+	if o.Zeta == 0 {
+		o.Zeta = 0.05
+	}
+	if o.T == 0 {
+		o.T = int(math.Cbrt(float64(n) * o.Eps))
+	}
+	if o.T < 1 {
+		o.T = 1
+	}
+	if o.T > n {
+		o.T = n
+	}
+	if o.S == 0 {
+		nv := float64(o.Domain.NumVertices())
+		d := float64(ds.D())
+		logTerm := math.Log(nv * d * float64(o.T) / o.Zeta)
+		if logTerm < 1 {
+			logTerm = 1
+		}
+		o.S = math.Sqrt(float64(n) * o.Eps * o.Tau / (float64(o.T) * logTerm))
+	}
+	if !(o.S > 0) || !(o.Beta > 0) {
+		return fmt.Errorf("core: invalid robust-estimator parameters s=%v β=%v", o.S, o.Beta)
+	}
+	if o.W0 == nil {
+		o.W0 = make([]float64, ds.D())
+	}
+	if !o.Domain.Contains(o.W0, 1e-9) {
+		return errors.New("core: W0 outside the domain")
+	}
+	return nil
+}
+
+// FrankWolfe runs Heavy-tailed DP-FW (Algorithm 1) on ds and returns
+// the final iterate w_T. The whole invocation is ε-DP: each iteration
+// applies the exponential mechanism with budget ε to a fresh disjoint
+// chunk of the data, so no composition is paid (Theorem 1).
+func FrankWolfe(ds *data.Dataset, opt FWOptions) ([]float64, error) {
+	if err := opt.fill(ds); err != nil {
+		return nil, err
+	}
+	d := ds.D()
+	est := robust.MeanEstimator{S: opt.S, Beta: opt.Beta}
+	parts := ds.Split(opt.T)
+
+	w := vecmath.Clone(opt.W0)
+	grad := make([]float64, d)
+	vtx := make([]float64, d)
+	var avg []float64
+	if opt.Average {
+		avg = make([]float64, d)
+	}
+	for t := 1; t <= opt.T; t++ {
+		part := parts[t-1]
+		m := part.N()
+		// Step 4–5: robust coordinate-wise gradient estimate g̃(w, D_t).
+		est.EstimateFunc(grad, m, func(i int, buf []float64) {
+			opt.Loss.Grad(buf, w, part.X.Row(i), part.Y[i])
+		})
+		// Step 6: exponential mechanism over the vertex set with score
+		// u(v) = −⟨v, g̃⟩. |u(D,v) − u(D′,v)| ≤ ‖v‖₁·‖g̃−g̃′‖∞ ≤
+		// max_v‖v‖₁ · 4√2·s/(3m) — the Theorem-1 sensitivity.
+		sens := maxVertexL1(opt.Domain) * est.Sensitivity(m)
+		idx := dp.ExponentialLazy(opt.Rng, opt.Domain.NumVertices(), func(i int) float64 {
+			return opt.Domain.VertexScore(i, grad)
+		}, sens, opt.Eps)
+		opt.Domain.Vertex(idx, vtx)
+		// Step 7: convex update.
+		eta := opt.EtaConst
+		if eta <= 0 {
+			eta = 2 / float64(t+2)
+		}
+		vecmath.Lerp(w, w, vtx, eta)
+		if avg != nil {
+			vecmath.Axpy(1, w, avg)
+		}
+		if opt.Trace != nil {
+			opt.Trace(t, w)
+		}
+	}
+	if avg != nil {
+		vecmath.Scale(avg, 1/float64(opt.T))
+		return avg, nil
+	}
+	return w, nil
+}
+
+// maxVertexL1 returns max_v ‖v‖₁ over the vertex set — the ‖W‖₁ factor
+// in the score sensitivity |u(D,v) − u(D′,v)| ≤ ‖v‖₁·‖g̃−g̃′‖∞.
+func maxVertexL1(p polytope.Polytope) float64 {
+	switch q := p.(type) {
+	case polytope.L1Ball:
+		return q.Radius
+	case polytope.Simplex:
+		return 1
+	}
+	buf := make([]float64, p.Dim())
+	var m float64
+	for i := 0; i < p.NumVertices(); i++ {
+		if n := vecmath.Norm1(p.Vertex(i, buf)); n > m {
+			m = n
+		}
+	}
+	return m
+}

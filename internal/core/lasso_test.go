@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"htdp/internal/loss"
+	"htdp/internal/polytope"
+	"htdp/internal/randx"
+	"htdp/internal/vecmath"
+)
+
+func TestLassoValidation(t *testing.T) {
+	ds := linearL1Workload(1, 200, 5)
+	r := randx.New(2)
+	cases := map[string]LassoOptions{
+		"no-rng":    {Eps: 1, Delta: 1e-5},
+		"no-delta":  {Eps: 1, Rng: r},
+		"bad-eps":   {Eps: -1, Delta: 1e-5, Rng: r},
+		"bad-dim":   {Eps: 1, Delta: 1e-5, Rng: r, Domain: polytope.NewL1Ball(3, 1)},
+		"w0-out":    {Eps: 1, Delta: 1e-5, Rng: r, W0: []float64{5, 0, 0, 0, 0}},
+		"bad-delta": {Eps: 1, Delta: 2, Rng: r},
+	}
+	for name, opt := range cases {
+		if _, err := Lasso(ds, opt); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLassoDefaults(t *testing.T) {
+	ds := linearL1Workload(3, 1000, 5)
+	opt := LassoOptions{Eps: 1, Delta: 1e-5, Rng: randx.New(4)}
+	if err := opt.fill(ds); err != nil {
+		t.Fatal(err)
+	}
+	ne := 1000.0
+	wantT := int(math.Ceil(math.Pow(ne, 0.4)))
+	if opt.T != wantT {
+		t.Errorf("default T = %d, want %d", opt.T, wantT)
+	}
+	wantK := math.Pow(ne, 0.25) / math.Pow(float64(opt.T), 0.125)
+	if math.Abs(opt.K-wantK) > 1e-12 {
+		t.Errorf("default K = %v, want %v", opt.K, wantK)
+	}
+	if opt.Domain.Dims != 5 || opt.Domain.Radius != 1 {
+		t.Errorf("default domain = %+v", opt.Domain)
+	}
+}
+
+func TestLassoFeasibilityAndProgress(t *testing.T) {
+	ds := linearL1Workload(5, 20000, 20)
+	dom := polytope.NewL1Ball(20, 1)
+	var violated bool
+	w, err := Lasso(ds, LassoOptions{
+		Eps: 2, Delta: 1e-5, Rng: randx.New(6), Domain: dom,
+		Trace: func(t int, w []float64) {
+			if !dom.Contains(w, 1e-9) {
+				violated = true
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("an iterate left the ℓ1 ball")
+	}
+	zero := make([]float64, 20)
+	if loss.Empirical(loss.Squared{}, w, ds.X, ds.Y) >= loss.Empirical(loss.Squared{}, zero, ds.X, ds.Y) {
+		t.Fatal("no risk improvement over the zero vector")
+	}
+}
+
+func TestLassoShrinkageApplied(t *testing.T) {
+	// With a tiny manual K the gradient scores are computed on heavily
+	// truncated data; the algorithm must still run and stay feasible.
+	ds := linearL1Workload(7, 2000, 10)
+	w, err := Lasso(ds, LassoOptions{
+		Eps: 1, Delta: 1e-5, Rng: randx.New(8), K: 0.05, T: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecmath.Norm1(w) > 1+1e-9 {
+		t.Fatalf("‖w‖₁ = %v", vecmath.Norm1(w))
+	}
+}
+
+func TestLassoEpsMonotone(t *testing.T) {
+	// Average excess risk should not get worse as ε increases 40×.
+	ds := linearL1Workload(9, 20000, 15)
+	dom := polytope.NewL1Ball(15, 1)
+	ref := NonprivateFW(ds, loss.Squared{}, dom, 300, nil)
+	avg := func(eps float64, seed int64) float64 {
+		var tot float64
+		const reps = 5
+		for k := 0; k < reps; k++ {
+			w, err := Lasso(ds, LassoOptions{Eps: eps, Delta: 1e-5, Rng: randx.New(seed + int64(k))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tot += loss.ExcessRisk(loss.Squared{}, w, ref, ds.X, ds.Y)
+		}
+		return tot / reps
+	}
+	if lo, hi := avg(0.1, 10), avg(4, 20); hi > lo {
+		t.Fatalf("excess at ε=4 (%v) worse than ε=0.1 (%v)", hi, lo)
+	}
+}

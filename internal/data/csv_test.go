@@ -1,0 +1,103 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"htdp/internal/randx"
+	"htdp/internal/vecmath"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "1,2,3\n4,5,6\n"
+	ds, err := ReadCSV(strings.NewReader(in), "t", -1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 || ds.D() != 2 {
+		t.Fatalf("shape %dx%d", ds.N(), ds.D())
+	}
+	if ds.Y[0] != 3 || ds.Y[1] != 6 {
+		t.Fatalf("labels %v", ds.Y)
+	}
+	if ds.X.At(1, 0) != 4 || ds.X.At(1, 1) != 5 {
+		t.Fatalf("features %v", ds.X.Row(1))
+	}
+}
+
+func TestReadCSVLabelColumnVariants(t *testing.T) {
+	in := "9,1,2\n8,3,4\n"
+	ds, err := ReadCSV(strings.NewReader(in), "t", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Y[0] != 9 || ds.Y[1] != 8 {
+		t.Fatalf("labels %v", ds.Y)
+	}
+	if ds.X.At(0, 0) != 1 || ds.X.At(0, 1) != 2 {
+		t.Fatalf("features %v", ds.X.Row(0))
+	}
+	// Negative index from the end.
+	ds2, err := ReadCSV(strings.NewReader(in), "t", -3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Y[0] != 9 {
+		t.Fatalf("labels %v", ds2.Y)
+	}
+}
+
+func TestReadCSVHeader(t *testing.T) {
+	in := "a,b,y\n1,2,3\n"
+	ds, err := ReadCSV(strings.NewReader(in), "t", -1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 1 || ds.Y[0] != 3 {
+		t.Fatalf("%+v", ds)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]struct {
+		in  string
+		col int
+		hdr bool
+	}{
+		"non-numeric":  {"1,x\n", -1, false},
+		"ragged":       {"1,2\n1,2,3\n", -1, false},
+		"empty":        {"", -1, false},
+		"narrow":       {"1\n", -1, false},
+		"bad-labelcol": {"1,2\n", 5, false},
+		"header-only":  {"a,b\n", -1, true},
+	}
+	for name, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), "t", c.col, c.hdr); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := randx.New(1)
+	orig := Linear(r, LinearOpt{N: 50, D: 7, Feature: randx.LogNormal{Mu: 0, Sigma: 1},
+		Noise: randx.StudentT{Nu: 3}})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, orig.Label, -1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() || back.D() != orig.D() {
+		t.Fatalf("shape %dx%d", back.N(), back.D())
+	}
+	if vecmath.Dist2(back.Y, orig.Y) != 0 {
+		t.Fatal("labels drifted through the round trip")
+	}
+	if vecmath.Dist2(back.X.Data, orig.X.Data) != 0 {
+		t.Fatal("features drifted through the round trip")
+	}
+}

@@ -1,0 +1,260 @@
+// Package data generates the paper's workloads: synthetic linear and
+// logistic models with heavy-tailed features and noise exactly as
+// described in §6.1, the sparse planted-parameter construction, and
+// deterministic simulators standing in for the four UCI datasets the
+// paper evaluates on (the module is offline; see DESIGN.md,
+// "Substitutions").
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"htdp/internal/randx"
+	"htdp/internal/vecmath"
+)
+
+// Dataset is a supervised dataset with an optional planted parameter.
+type Dataset struct {
+	Label string
+	X     *vecmath.Mat // n×d feature matrix, rows are samples
+	Y     []float64    // n labels (±1 for classification)
+	WStar []float64    // planted parameter, nil when unknown
+}
+
+// N returns the number of samples.
+func (d *Dataset) N() int { return d.X.Rows }
+
+// D returns the feature dimension.
+func (d *Dataset) D() int { return d.X.Cols }
+
+// Subset returns a view of rows [lo, hi) sharing the underlying storage.
+func (d *Dataset) Subset(lo, hi int) *Dataset {
+	if lo < 0 || hi > d.N() || lo > hi {
+		panic(fmt.Sprintf("data: Subset [%d,%d) of %d rows", lo, hi, d.N()))
+	}
+	return &Dataset{
+		Label: d.Label,
+		X: &vecmath.Mat{
+			Rows: hi - lo,
+			Cols: d.X.Cols,
+			Data: d.X.Data[lo*d.X.Cols : hi*d.X.Cols],
+		},
+		Y:     d.Y[lo:hi],
+		WStar: d.WStar,
+	}
+}
+
+// Split partitions the dataset into T contiguous, near-equal parts —
+// the disjoint-chunk strategy Algorithms 1, 3, and 5 use so each
+// iteration touches fresh samples.
+func (d *Dataset) Split(T int) []*Dataset {
+	if T < 1 || T > d.N() {
+		panic(fmt.Sprintf("data: Split into T=%d parts of %d rows", T, d.N()))
+	}
+	parts := make([]*Dataset, T)
+	n := d.N()
+	for t := 0; t < T; t++ {
+		parts[t] = d.Subset(t*n/T, (t+1)*n/T)
+	}
+	return parts
+}
+
+// Clone deep-copies the dataset so destructive transforms (shrinkage)
+// cannot leak into the caller's copy.
+func (d *Dataset) Clone() *Dataset {
+	return &Dataset{
+		Label: d.Label,
+		X:     d.X.Clone(),
+		Y:     vecmath.Clone(d.Y),
+		WStar: vecmath.Clone(d.WStar),
+	}
+}
+
+// Shrink returns a copy whose features and labels are entry-wise
+// truncated at K: x̃ᵢⱼ = sign(xᵢⱼ)·min(|xᵢⱼ|, K), ỹᵢ likewise — step 2
+// of Algorithms 2 and 3.
+func (d *Dataset) Shrink(k float64) *Dataset {
+	c := d.Clone()
+	for i := range c.X.Data {
+		if c.X.Data[i] > k {
+			c.X.Data[i] = k
+		} else if c.X.Data[i] < -k {
+			c.X.Data[i] = -k
+		}
+	}
+	for i, y := range c.Y {
+		if y > k {
+			c.Y[i] = k
+		} else if y < -k {
+			c.Y[i] = -k
+		}
+	}
+	return c
+}
+
+// L1UnitWStar samples a parameter uniformly spread on the unit ℓ1
+// sphere: Dirichlet-like magnitudes with random signs (§6.1, polytope
+// case: "randomly generate w* such that ‖w*‖₁ = 1").
+func L1UnitWStar(r *randx.RNG, d int) []float64 {
+	w := make([]float64, d)
+	var s float64
+	for i := range w {
+		e := r.Exponential(1)
+		w[i] = e * r.Rademacher()
+		s += e
+	}
+	for i := range w {
+		w[i] /= s
+	}
+	return w
+}
+
+// SparseWStar samples the §6.1 sparse parameter: w ~ N(0, 100²)^d, a
+// random (d − s*)-subset zeroed, then projected to the unit ℓ2 ball
+// (the projection lands on the sphere almost surely).
+func SparseWStar(r *randx.RNG, d, sStar int) []float64 {
+	if sStar < 1 || sStar > d {
+		panic(fmt.Sprintf("data: SparseWStar s*=%d outside [1,%d]", sStar, d))
+	}
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = 100 * r.Normal()
+	}
+	perm := r.Perm(d)
+	for _, j := range perm[sStar:] {
+		w[j] = 0
+	}
+	vecmath.ProjectL2Ball(w, 1)
+	return w
+}
+
+// LinearOpt configures a linear-model workload y = ⟨w*, x⟩ + ι.
+type LinearOpt struct {
+	N, D    int
+	Feature randx.Dist // law of each coordinate of x
+	Noise   randx.Dist // law of ι (nil for noiseless)
+	WStar   []float64  // planted parameter; nil → L1UnitWStar
+}
+
+// Linear generates a linear-regression dataset.
+func Linear(r *randx.RNG, opt LinearOpt) *Dataset {
+	validateShape(opt.N, opt.D)
+	w := opt.WStar
+	if w == nil {
+		w = L1UnitWStar(r, opt.D)
+	}
+	if len(w) != opt.D {
+		panic("data: WStar dimension mismatch")
+	}
+	x := vecmath.NewMat(opt.N, opt.D)
+	y := make([]float64, opt.N)
+	for i := 0; i < opt.N; i++ {
+		row := x.Row(i)
+		randx.SampleVec(opt.Feature, r, row)
+		y[i] = vecmath.Dot(w, row)
+		if opt.Noise != nil {
+			y[i] += opt.Noise.Sample(r)
+		}
+	}
+	return &Dataset{
+		Label: fmt.Sprintf("linear(%s,%s,n=%d,d=%d)", opt.Feature.Name(), noiseName(opt.Noise), opt.N, opt.D),
+		X:     x, Y: y, WStar: w,
+	}
+}
+
+// LogisticOpt configures a classification workload
+// y = sign(sigmoid(⟨x, w*⟩ + ζ) − 1/2) ∈ {−1, +1} (§6.1).
+type LogisticOpt struct {
+	N, D    int
+	Feature randx.Dist
+	Noise   randx.Dist // law of ζ (nil for noiseless)
+	WStar   []float64  // nil → L1UnitWStar
+}
+
+// LogisticModel generates a logistic-classification dataset.
+func LogisticModel(r *randx.RNG, opt LogisticOpt) *Dataset {
+	validateShape(opt.N, opt.D)
+	w := opt.WStar
+	if w == nil {
+		w = L1UnitWStar(r, opt.D)
+	}
+	if len(w) != opt.D {
+		panic("data: WStar dimension mismatch")
+	}
+	x := vecmath.NewMat(opt.N, opt.D)
+	y := make([]float64, opt.N)
+	for i := 0; i < opt.N; i++ {
+		row := x.Row(i)
+		randx.SampleVec(opt.Feature, r, row)
+		z := vecmath.Dot(w, row)
+		if opt.Noise != nil {
+			z += opt.Noise.Sample(r)
+		}
+		// sign(sigmoid(z) − 1/2) = sign(z); ties broken to +1.
+		if z >= 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	return &Dataset{
+		Label: fmt.Sprintf("logistic(%s,%s,n=%d,d=%d)", opt.Feature.Name(), noiseName(opt.Noise), opt.N, opt.D),
+		X:     x, Y: y, WStar: w,
+	}
+}
+
+func noiseName(d randx.Dist) string {
+	if d == nil {
+		return "none"
+	}
+	return d.Name()
+}
+
+func validateShape(n, d int) {
+	if n <= 0 || d <= 0 {
+		panic(fmt.Sprintf("data: invalid shape n=%d d=%d", n, d))
+	}
+}
+
+// Bootstrap returns a dataset of m rows drawn with replacement — the
+// resampling primitive for stability diagnostics on the simulated-real
+// figures.
+func (d *Dataset) Bootstrap(r *randx.RNG, m int) *Dataset {
+	if m < 1 {
+		panic("data: Bootstrap needs m ≥ 1")
+	}
+	x := vecmath.NewMat(m, d.D())
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		j := r.Intn(d.N())
+		copy(x.Row(i), d.X.Row(j))
+		y[i] = d.Y[j]
+	}
+	return &Dataset{Label: d.Label + "-boot", X: x, Y: y, WStar: d.WStar}
+}
+
+// Standardize rescales every feature column in place to unit empirical
+// second moment (skipping all-zero columns) and returns the per-column
+// scales applied. Mirrors the usual preprocessing for the UCI runs.
+func Standardize(d *Dataset) []float64 {
+	scales := make([]float64, d.D())
+	for j := 0; j < d.D(); j++ {
+		var m2 float64
+		for i := 0; i < d.N(); i++ {
+			v := d.X.At(i, j)
+			m2 += v * v
+		}
+		m2 /= float64(d.N())
+		if m2 == 0 {
+			scales[j] = 1
+			continue
+		}
+		s := 1 / math.Sqrt(m2)
+		scales[j] = s
+		for i := 0; i < d.N(); i++ {
+			d.X.Set(i, j, d.X.At(i, j)*s)
+		}
+	}
+	return scales
+}

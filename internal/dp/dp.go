@@ -1,0 +1,228 @@
+// Package dp implements the differential-privacy substrate: the Laplace
+// and Gaussian mechanisms, the exponential mechanism (sampled with the
+// Gumbel-max trick), the advanced composition theorem (Lemma 2 of the
+// paper), and a privacy-budget accountant. It depends only on randx.
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"htdp/internal/randx"
+)
+
+// Params is an (ε, δ) differential-privacy budget. δ = 0 means pure DP.
+type Params struct {
+	Eps   float64
+	Delta float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if !(p.Eps > 0) || math.IsInf(p.Eps, 0) || math.IsNaN(p.Eps) {
+		return fmt.Errorf("dp: ε must be positive and finite, got %v", p.Eps)
+	}
+	if p.Delta < 0 || p.Delta >= 1 || math.IsNaN(p.Delta) {
+		return fmt.Errorf("dp: δ must lie in [0,1), got %v", p.Delta)
+	}
+	return nil
+}
+
+// Pure reports whether the budget is pure ε-DP (δ = 0).
+func (p Params) Pure() bool { return p.Delta == 0 }
+
+func (p Params) String() string {
+	if p.Pure() {
+		return fmt.Sprintf("(ε=%g)-DP", p.Eps)
+	}
+	return fmt.Sprintf("(ε=%g, δ=%g)-DP", p.Eps, p.Delta)
+}
+
+// AdvancedComposition returns the per-mechanism budget (ε′, δ′) such
+// that running T mechanisms, each (ε′, δ′)-DP, yields (ε, T·δ′+δ)-DP in
+// total — Lemma 2 of the paper: ε′ = ε / (2√(2T·ln(2/δ))), δ′ = δ/T.
+// It requires 0 < ε < 1, 0 < δ < 1 and T ≥ 1.
+func AdvancedComposition(total Params, T int) (Params, error) {
+	if T < 1 {
+		return Params{}, fmt.Errorf("dp: composition over T=%d mechanisms", T)
+	}
+	if err := total.Validate(); err != nil {
+		return Params{}, err
+	}
+	if total.Delta == 0 {
+		return Params{}, errors.New("dp: advanced composition needs δ > 0")
+	}
+	return Params{
+		Eps:   total.Eps / (2 * math.Sqrt(2*float64(T)*math.Log(2/total.Delta))),
+		Delta: total.Delta / float64(T),
+	}, nil
+}
+
+// BasicComposition returns the per-mechanism pure budget ε/T for
+// sequential composition of T pure-DP mechanisms.
+func BasicComposition(total Params, T int) (Params, error) {
+	if T < 1 {
+		return Params{}, fmt.Errorf("dp: composition over T=%d mechanisms", T)
+	}
+	if err := total.Validate(); err != nil {
+		return Params{}, err
+	}
+	return Params{Eps: total.Eps / float64(T), Delta: total.Delta / float64(T)}, nil
+}
+
+// LaplaceMechanism adds Laplace(Δ₁/ε) noise to each coordinate of q,
+// in place, where sensitivity is the ℓ1-sensitivity of q. The result is
+// ε-DP. It returns q.
+func LaplaceMechanism(r *randx.RNG, q []float64, sensitivity, eps float64) []float64 {
+	scale := LaplaceScale(sensitivity, eps)
+	for i := range q {
+		q[i] += r.Laplace(scale)
+	}
+	return q
+}
+
+// LaplaceScale returns the noise scale Δ₁/ε of the Laplace mechanism.
+func LaplaceScale(sensitivity, eps float64) float64 {
+	if sensitivity < 0 {
+		panic("dp: negative sensitivity")
+	}
+	if eps <= 0 {
+		panic("dp: non-positive ε")
+	}
+	if sensitivity == 0 {
+		return math.SmallestNonzeroFloat64 // degenerate: no noise needed
+	}
+	return sensitivity / eps
+}
+
+// GaussianSigma returns the standard deviation Δ₂·√(2·ln(1.25/δ))/ε of
+// the (ε, δ)-DP Gaussian mechanism for an ℓ2-sensitivity Δ₂.
+func GaussianSigma(sensitivity float64, p Params) float64 {
+	if sensitivity < 0 {
+		panic("dp: negative sensitivity")
+	}
+	if p.Eps <= 0 || p.Delta <= 0 {
+		panic("dp: Gaussian mechanism needs ε > 0 and δ > 0")
+	}
+	return sensitivity * math.Sqrt(2*math.Log(1.25/p.Delta)) / p.Eps
+}
+
+// GaussianMechanism adds N(0, σ²) noise per coordinate with σ from
+// GaussianSigma, in place, and returns q. The result is (ε, δ)-DP for a
+// query with the given ℓ2-sensitivity.
+func GaussianMechanism(r *randx.RNG, q []float64, sensitivity float64, p Params) []float64 {
+	sigma := GaussianSigma(sensitivity, p)
+	for i := range q {
+		q[i] += sigma * r.Normal()
+	}
+	return q
+}
+
+// Exponential samples the exponential mechanism over |scores|
+// candidates: the i-th candidate is selected with probability
+// ∝ exp(ε·scores[i]/(2Δ)). Sampling uses the Gumbel-max trick, which is
+// numerically stable for any score range: argmaxᵢ (ε·uᵢ/(2Δ) + Gᵢ) with
+// i.i.d. standard Gumbel Gᵢ is distributed exactly as the mechanism.
+//
+// sensitivity is the score sensitivity Δu; the result is ε-DP.
+func Exponential(r *randx.RNG, scores []float64, sensitivity, eps float64) int {
+	if len(scores) == 0 {
+		panic("dp: Exponential with no candidates")
+	}
+	if sensitivity < 0 {
+		panic("dp: negative sensitivity")
+	}
+	if eps <= 0 {
+		panic("dp: non-positive ε")
+	}
+	if sensitivity == 0 {
+		// No data dependence: the mechanism degenerates to exact argmax.
+		best, bi := math.Inf(-1), 0
+		for i, s := range scores {
+			if s > best {
+				best, bi = s, i
+			}
+		}
+		return bi
+	}
+	c := eps / (2 * sensitivity)
+	best, bi := math.Inf(-1), 0
+	for i, s := range scores {
+		v := c*s + r.Gumbel()
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// ExponentialLazy is Exponential without materializing the score slice:
+// score(i) is called once per candidate i ∈ [0, n). Used for the ℓ1-ball
+// polytope whose 2d vertices are implicit.
+func ExponentialLazy(r *randx.RNG, n int, score func(int) float64, sensitivity, eps float64) int {
+	if n <= 0 {
+		panic("dp: ExponentialLazy with no candidates")
+	}
+	if sensitivity < 0 {
+		panic("dp: negative sensitivity")
+	}
+	if eps <= 0 {
+		panic("dp: non-positive ε")
+	}
+	c := 0.0
+	if sensitivity > 0 {
+		c = eps / (2 * sensitivity)
+	}
+	best, bi := math.Inf(-1), 0
+	for i := 0; i < n; i++ {
+		v := score(i)
+		if sensitivity > 0 {
+			v = c*v + r.Gumbel()
+		}
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Accountant tracks cumulative privacy spending under basic (linear)
+// composition; it is a guard rail for experiment code, not a tight
+// accountant. Spend returns an error once the budget is exceeded.
+type Accountant struct {
+	Budget Params
+	spent  Params
+}
+
+// NewAccountant returns an accountant with the given total budget.
+func NewAccountant(budget Params) (*Accountant, error) {
+	if err := budget.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accountant{Budget: budget}, nil
+}
+
+// Spend records a mechanism invocation at cost p.
+func (a *Accountant) Spend(p Params) error {
+	ne := a.spent.Eps + p.Eps
+	nd := a.spent.Delta + p.Delta
+	const slack = 1e-9
+	if ne > a.Budget.Eps*(1+slack) || nd > a.Budget.Delta*(1+slack)+slack {
+		return fmt.Errorf("dp: budget exceeded: spent %v + request %v > budget %v",
+			a.spent, p, a.Budget)
+	}
+	a.spent.Eps, a.spent.Delta = ne, nd
+	return nil
+}
+
+// Spent returns the cumulative spend so far.
+func (a *Accountant) Spent() Params { return a.spent }
+
+// Remaining returns the unspent budget (clamped at zero).
+func (a *Accountant) Remaining() Params {
+	return Params{
+		Eps:   math.Max(0, a.Budget.Eps-a.spent.Eps),
+		Delta: math.Max(0, a.Budget.Delta-a.spent.Delta),
+	}
+}

@@ -1,0 +1,121 @@
+package dp
+
+import (
+	"math"
+
+	"htdp/internal/randx"
+)
+
+// AboveThreshold is the Sparse Vector Technique (SVT): it privately
+// scans a stream of queries and reports which ones exceed a threshold,
+// halting after maxHits positive reports. Only the positives are
+// charged privacy, which is what makes SVT the tool of choice for
+// adaptive threshold checks (e.g. deciding when a private optimizer has
+// converged).
+//
+// The standard calibration: with per-query sensitivity Δ, the threshold
+// is perturbed once with Lap(2Δ·c/ε) and every query with Lap(4Δ·c/ε)
+// where c = maxHits; the whole scan is ε-DP.
+type AboveThreshold struct {
+	rng        *randx.RNG
+	thresh     float64 // perturbed threshold
+	queryScale float64
+	hitsLeft   int
+	halted     bool
+}
+
+// NewAboveThreshold prepares an ε-DP scan with the given raw threshold,
+// per-query sensitivity, and positive-report budget maxHits ≥ 1.
+func NewAboveThreshold(rng *randx.RNG, threshold, sensitivity, eps float64, maxHits int) *AboveThreshold {
+	if rng == nil {
+		panic("dp: AboveThreshold needs an RNG")
+	}
+	if sensitivity < 0 {
+		panic("dp: negative sensitivity")
+	}
+	if eps <= 0 {
+		panic("dp: non-positive ε")
+	}
+	if maxHits < 1 {
+		panic("dp: AboveThreshold needs maxHits ≥ 1")
+	}
+	c := float64(maxHits)
+	a := &AboveThreshold{
+		rng:        rng,
+		thresh:     threshold,
+		queryScale: 0,
+		hitsLeft:   maxHits,
+	}
+	if sensitivity > 0 {
+		a.thresh += rng.Laplace(2 * sensitivity * c / eps)
+		a.queryScale = 4 * sensitivity * c / eps
+	}
+	return a
+}
+
+// Query reports privately whether the query value exceeds the
+// threshold. After maxHits positive answers the scanner halts and every
+// further call returns (false, false). The second result reports
+// whether the scanner is still live.
+func (a *AboveThreshold) Query(value float64) (above, live bool) {
+	if a.halted {
+		return false, false
+	}
+	v := value
+	if a.queryScale > 0 {
+		v += a.rng.Laplace(a.queryScale)
+	}
+	if v >= a.thresh {
+		a.hitsLeft--
+		if a.hitsLeft == 0 {
+			a.halted = true
+		}
+		return true, !a.halted
+	}
+	return false, true
+}
+
+// Halted reports whether the positive-report budget is exhausted.
+func (a *AboveThreshold) Halted() bool { return a.halted }
+
+// SVTSelect runs AboveThreshold over a finite query slice and returns
+// the indices reported above threshold (at most maxHits of them), in
+// scan order. The whole call is ε-DP for queries with the given
+// sensitivity.
+func SVTSelect(rng *randx.RNG, queries []float64, threshold, sensitivity, eps float64, maxHits int) []int {
+	at := NewAboveThreshold(rng, threshold, sensitivity, eps, maxHits)
+	var hits []int
+	for i, q := range queries {
+		above, _ := at.Query(q)
+		if above {
+			hits = append(hits, i)
+		}
+		if at.Halted() {
+			break
+		}
+	}
+	return hits
+}
+
+// NoisyMax returns the index of the (approximately) largest query via
+// the report-noisy-max mechanism with Laplace noise Lap(2Δ/ε): an ε-DP
+// alternative to the exponential mechanism with the same utility order.
+func NoisyMax(rng *randx.RNG, queries []float64, sensitivity, eps float64) int {
+	if len(queries) == 0 {
+		panic("dp: NoisyMax with no queries")
+	}
+	if sensitivity < 0 || eps <= 0 {
+		panic("dp: NoisyMax bad parameters")
+	}
+	best, bi := math.Inf(-1), 0
+	for i, q := range queries {
+		v := q
+		if sensitivity > 0 {
+			v += rng.Laplace(2 * sensitivity / eps)
+		}
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

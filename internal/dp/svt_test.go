@@ -1,0 +1,119 @@
+package dp
+
+import (
+	"testing"
+
+	"htdp/internal/randx"
+)
+
+func TestAboveThresholdBasic(t *testing.T) {
+	r := randx.New(1)
+	// Zero sensitivity → exact comparisons.
+	at := NewAboveThreshold(r, 5, 0, 1, 2)
+	cases := []struct {
+		v     float64
+		above bool
+	}{
+		{1, false}, {6, true}, {2, false}, {7, true},
+	}
+	for i, c := range cases {
+		above, _ := at.Query(c.v)
+		if above != c.above {
+			t.Fatalf("query %d: above=%v, want %v", i, above, c.above)
+		}
+	}
+	if !at.Halted() {
+		t.Fatal("should halt after maxHits positives")
+	}
+	if above, live := at.Query(100); above || live {
+		t.Fatal("halted scanner answered")
+	}
+}
+
+func TestAboveThresholdNoisyStillUseful(t *testing.T) {
+	// With a comfortable margin the noisy scan should classify almost
+	// all queries correctly.
+	r := randx.New(2)
+	correct := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		at := NewAboveThreshold(r, 0, 1, 8, 1)
+		v := -20.0
+		if i%2 == 0 {
+			v = 20.0
+		}
+		above, _ := at.Query(v)
+		if above == (v > 0) {
+			correct++
+		}
+	}
+	if frac := float64(correct) / trials; frac < 0.95 {
+		t.Fatalf("accuracy %v with margin 20 at ε=8", frac)
+	}
+}
+
+func TestSVTSelect(t *testing.T) {
+	r := randx.New(3)
+	queries := []float64{-10, 50, -10, -10, 60, -10, 70}
+	hits := SVTSelect(r, queries, 0, 1, 20, 2)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v, want exactly maxHits=2", hits)
+	}
+	// With ε=20 and margin 50 the first two true positives are found.
+	if hits[0] != 1 || hits[1] != 4 {
+		t.Fatalf("hits = %v, want [1 4]", hits)
+	}
+	// Zero-sensitivity scan is exact.
+	exact := SVTSelect(r, queries, 0, 0, 1, 3)
+	if len(exact) != 3 || exact[0] != 1 || exact[1] != 4 || exact[2] != 6 {
+		t.Fatalf("exact hits = %v", exact)
+	}
+}
+
+func TestNoisyMax(t *testing.T) {
+	r := randx.New(4)
+	q := []float64{0, 10, 3}
+	// Exact at zero sensitivity.
+	if got := NoisyMax(r, q, 0, 1); got != 1 {
+		t.Fatalf("NoisyMax exact = %d", got)
+	}
+	// High budget: picks the max almost always.
+	wins := 0
+	for i := 0; i < 1000; i++ {
+		if NoisyMax(r, q, 1, 10) == 1 {
+			wins++
+		}
+	}
+	if wins < 950 {
+		t.Fatalf("NoisyMax found the max only %d/1000 times", wins)
+	}
+	// Distribution is non-degenerate at small budget.
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[NoisyMax(r, q, 5, 0.1)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("NoisyMax deterministic at tiny ε")
+	}
+}
+
+func TestSVTPanics(t *testing.T) {
+	r := randx.New(5)
+	for name, f := range map[string]func(){
+		"nil-rng":  func() { NewAboveThreshold(nil, 0, 1, 1, 1) },
+		"neg-sens": func() { NewAboveThreshold(r, 0, -1, 1, 1) },
+		"zero-eps": func() { NewAboveThreshold(r, 0, 1, 0, 1) },
+		"zero-c":   func() { NewAboveThreshold(r, 0, 1, 1, 0) },
+		"nm-empty": func() { NoisyMax(r, nil, 1, 1) },
+		"nm-eps":   func() { NoisyMax(r, []float64{1}, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,196 @@
+// Package experiments encodes every figure of the paper's evaluation
+// (§6, Figures 1–11) plus the Theorem-9 lower-bound check and a set of
+// ablations as reproducible parameter sweeps. Each experiment returns
+// printable panels — the same series the paper plots — and the cmd/htdp
+// CLI and the repository benchmarks are thin wrappers over this
+// registry.
+//
+// Sample sizes scale with Config.Scale so the full paper protocol
+// (Scale=1, Reps=20) and a quick laptop run (the defaults) share one
+// code path.
+package experiments
+
+import (
+	"fmt"
+	"htdp/internal/vecmath"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"htdp/internal/randx"
+)
+
+// Config controls the fidelity/cost trade-off of a run.
+type Config struct {
+	// Reps is the number of independent trials averaged per point
+	// (paper protocol: ≥20). 0 → 5.
+	Reps int
+	// Scale multiplies every sample size relative to the paper's
+	// (0 < Scale ≤ 1). 0 → 0.1.
+	Scale float64
+	// Seed is the base seed; every (panel, series, point, rep) derives a
+	// distinct deterministic stream from it. 0 → 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.1
+	}
+	if c.Scale < 0 || c.Scale > 1 {
+		panic(fmt.Sprintf("experiments: Scale %v outside (0,1]", c.Scale))
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// n scales a paper sample size, keeping at least 100 samples.
+func (c Config) n(paperN int) int {
+	n := int(c.Scale * float64(paperN))
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+// Series is one line of a panel: y(x) with across-trial standard
+// deviations.
+type Series struct {
+	Name string
+	X    []float64
+	Mean []float64
+	Std  []float64
+}
+
+// Panel is one sub-figure (the paper's (a)/(b)/(c) sub-plots).
+type Panel struct {
+	Figure string // e.g. "fig1"
+	Name   string // e.g. "a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Spec is a runnable experiment.
+type Spec struct {
+	ID          string
+	Description string
+	Run         func(cfg Config) []Panel
+}
+
+// registry is populated by the figure files' init functions.
+var registry []Spec
+
+func register(s Spec) { registry = append(registry, s) }
+
+// Registry returns all experiments sorted by ID.
+func Registry() []Spec {
+	out := append([]Spec(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Spec, error) {
+	for _, s := range registry {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("experiments: unknown experiment %q (see Registry)", id)
+}
+
+// trialFn runs one trial of one point and returns the measured error.
+// The RNG is private to the trial; trials must not share other state
+// unless it is read-only.
+type trialFn func(r *randx.RNG, x float64) float64
+
+// sweep evaluates one series: for every x it averages Reps trials, each
+// on its own deterministic RNG stream, running trials in parallel.
+func sweep(cfg Config, name string, xs []float64, seedOff int64, f trialFn) Series {
+	s := Series{Name: name, X: xs, Mean: make([]float64, len(xs)), Std: make([]float64, len(xs))}
+	type job struct{ xi, rep int }
+	jobs := make(chan job)
+	results := make([][]float64, len(xs))
+	for i := range results {
+		results[i] = make([]float64, cfg.Reps)
+	}
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > cfg.Reps*len(xs) {
+		workers = cfg.Reps * len(xs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				seed := cfg.Seed + seedOff*1_000_003 + int64(j.xi)*10_007 + int64(j.rep)
+				results[j.xi][j.rep] = f(randx.New(seed), xs[j.xi])
+			}
+		}()
+	}
+	for xi := range xs {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			jobs <- job{xi, rep}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for xi, vals := range results {
+		var o vecmath.OnlineMoments
+		o.AddAll(vals)
+		s.Mean[xi] = o.Mean
+		s.Std[xi] = o.Std()
+	}
+	return s
+}
+
+// WriteTable renders a panel as an aligned text table, one row per x,
+// one mean±std column per series — the textual equivalent of the
+// paper's plot.
+func WriteTable(w io.Writer, p Panel) error {
+	if _, err := fmt.Fprintf(w, "\n== %s(%s): %s ==\n", p.Figure, p.Name, p.Title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s", p.XLabel)
+	for _, s := range p.Series {
+		fmt.Fprintf(w, "  %-24s", s.Name)
+	}
+	fmt.Fprintln(w)
+	if len(p.Series) == 0 {
+		return nil
+	}
+	for xi := range p.Series[0].X {
+		fmt.Fprintf(w, "%-12.4g", p.Series[0].X[xi])
+		for _, s := range p.Series {
+			fmt.Fprintf(w, "  %-11.4g ± %-10.3g", s.Mean[xi], s.Std[xi])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteCSV renders a panel as CSV with columns
+// figure,panel,series,x,mean,std.
+func WriteCSV(w io.Writer, p Panel) error {
+	for _, s := range p.Series {
+		for xi := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%g,%g,%g\n",
+				p.Figure, p.Name, s.Name, s.X[xi], s.Mean[xi], s.Std[xi]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package minimax
+
+import (
+	"math"
+	"testing"
+
+	"htdp/internal/randx"
+	"htdp/internal/vecmath"
+)
+
+func TestHammingDist(t *testing.T) {
+	a := []int8{1, 0, -1, 1}
+	b := []int8{1, 1, 1, 1}
+	if got := HammingDist(a, b); got != 2 {
+		t.Fatalf("HammingDist = %d", got)
+	}
+	if HammingDist(a, a) != 0 {
+		t.Fatal("self distance non-zero")
+	}
+}
+
+func TestPackingLogSize(t *testing.T) {
+	// Matches the closed form and grows with d at fixed s.
+	got := PackingLogSize(100, 10)
+	want := 5 * math.Log(90.0/5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PackingLogSize = %v, want %v", got, want)
+	}
+	if PackingLogSize(1000, 10) <= got {
+		t.Fatal("packing size not increasing in d")
+	}
+}
+
+func TestGreedyPackingProperties(t *testing.T) {
+	r := randx.New(1)
+	d, s := 60, 8
+	pack := GreedyPacking(r, d, s, 30, 20000)
+	if len(pack) < 20 {
+		t.Fatalf("packing too small: %d", len(pack))
+	}
+	for i, z := range pack {
+		nz := 0
+		for _, v := range z {
+			if v != 0 {
+				nz++
+				if v != 1 && v != -1 {
+					t.Fatalf("entry %v not in {−1,0,1}", v)
+				}
+			}
+		}
+		if nz != s {
+			t.Fatalf("vector %d has sparsity %d", i, nz)
+		}
+		for j := i + 1; j < len(pack); j++ {
+			if HammingDist(z, pack[j]) < s/2 {
+				t.Fatalf("pair (%d,%d) distance %d < s/2=%d", i, j, HammingDist(z, pack[j]), s/2)
+			}
+		}
+	}
+}
+
+func TestSignVecNorm(t *testing.T) {
+	z := []int8{1, -1, 0, 1, 0}
+	v := SignVec(z, 3)
+	// ‖v‖₂² = 3/(2·3) = 1/2 ≤ 1.
+	if got := vecmath.Norm2Sq(v); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("‖v‖² = %v", got)
+	}
+	// Packing separation: two vectors at Hamming distance ≥ s/2 are at
+	// ℓ2 distance ≥ √2·(1/√(2s))·√(s/2)·… ≥ constant; check a pair.
+	z2 := []int8{-1, 1, 0, 1, 0}
+	v2 := SignVec(z2, 3)
+	if vecmath.Dist2(v, v2) <= 0 {
+		t.Fatal("distinct patterns at distance 0")
+	}
+}
+
+func TestHardInstanceMoments(t *testing.T) {
+	r := randx.New(2)
+	z := []int8{1, 0, -1, 0, 0, 1}
+	h := HardInstance{P: 0.3, Tau: 2, V: SignVec(z, 3)}
+	if h.SecondMomentMax() > h.Tau+1e-12 {
+		t.Fatalf("second moment %v exceeds τ", h.SecondMomentMax())
+	}
+	// Empirical mean ≈ √(pτ)·v.
+	want := h.Mean()
+	n := 200000
+	sum := make([]float64, len(z))
+	buf := make([]float64, len(z))
+	for i := 0; i < n; i++ {
+		h.Sample(r, buf)
+		vecmath.Axpy(1, buf, sum)
+	}
+	vecmath.Scale(sum, 1/float64(n))
+	if vecmath.Dist2(sum, want) > 0.02 {
+		t.Fatalf("empirical mean %v vs %v", sum, want)
+	}
+	// Empirical per-coordinate second moment ≤ τ (equality on support).
+	var m2 float64
+	r2 := randx.New(3)
+	for i := 0; i < n; i++ {
+		h.Sample(r2, buf)
+		if v := buf[0] * buf[0]; v > 0 {
+			m2 += v
+		}
+	}
+	m2 /= float64(n)
+	if m2 > h.Tau*1.1 {
+		t.Fatalf("coordinate second moment %v > τ=%v", m2, h.Tau)
+	}
+}
+
+func TestFanoPrivateSanity(t *testing.T) {
+	// Bound is non-negative, at most ρ*², decreasing in δ and in n·p.
+	rho := 0.5
+	logV := 20.0
+	base := FanoPrivate(rho, logV, 0.001, 1000, 1, 1e-6)
+	if base < 0 || base > rho*rho {
+		t.Fatalf("bound %v outside [0, ρ*²]", base)
+	}
+	moreDelta := FanoPrivate(rho, logV, 0.001, 1000, 1, 1e-2)
+	if moreDelta > base+1e-15 {
+		t.Fatalf("bound increased with δ: %v > %v", moreDelta, base)
+	}
+	moreData := FanoPrivate(rho, logV, 0.01, 10000, 1, 1e-6)
+	if moreData > base+1e-15 {
+		t.Fatalf("bound increased with np: %v > %v", moreData, base)
+	}
+	// Huge packing: the fraction saturates near 1 when e^{−εnp}|V| ≫ 1.
+	big := FanoPrivate(rho, 1e6, 1e-9, 10, 0.1, 1e-9)
+	if big < rho*rho*0.4 {
+		t.Fatalf("saturated bound %v too small", big)
+	}
+}
+
+func TestLowerBoundShape(t *testing.T) {
+	base := LowerBound(1, 10, 1000, 10000, 1, 1e-5)
+	if base <= 0 {
+		t.Fatal("bound not positive in a sane regime")
+	}
+	// Decreasing in n and ε; increasing in τ; increasing in d.
+	if LowerBound(1, 10, 1000, 20000, 1, 1e-5) >= base {
+		t.Error("not decreasing in n")
+	}
+	if LowerBound(1, 10, 1000, 10000, 2, 1e-5) >= base {
+		t.Error("not decreasing in ε")
+	}
+	if LowerBound(2, 10, 1000, 10000, 1, 1e-5) <= base {
+		t.Error("not increasing in τ")
+	}
+	// d only matters when the packing term of the min binds, i.e. at
+	// negligible δ; at δ=1e-5 the log(1/δ) cap binds and d is irrelevant.
+	if LowerBound(1, 10, 4000, 10000, 1, 1e-300) <= LowerBound(1, 10, 1000, 10000, 1, 1e-300) {
+		t.Error("not increasing in d (packing regime)")
+	}
+	if LowerBound(1, 10, 4000, 10000, 1, 1e-5) != base {
+		t.Error("δ-capped regime should be flat in d")
+	}
+	// δ cap: with tiny s·log d the first min-term binds; with tiny δ the
+	// second is large, so shrinking δ must not lower the bound.
+	if LowerBound(1, 10, 1000, 10000, 1, 1e-12) < base {
+		t.Error("smaller δ lowered the bound")
+	}
+	// Asymptotic form Ω(τ·s·log d/(nε)): doubling s roughly doubles it.
+	twice := LowerBound(1, 20, 1000, 10000, 1, 1e-300)
+	once := LowerBound(1, 10, 1000, 10000, 1, 1e-300)
+	if ratio := twice / once; ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("s-scaling ratio %v, want ≈2", ratio)
+	}
+}
+
+func TestLowerBoundDegenerate(t *testing.T) {
+	// When δ is large the min-term can go non-positive → bound 0.
+	if got := LowerBound(1, 2, 10, 100, 5, 0.4); got != 0 {
+		t.Fatalf("degenerate bound = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for s ≥ d")
+		}
+	}()
+	LowerBound(1, 10, 10, 100, 1, 1e-5)
+}

@@ -1,0 +1,235 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(1)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Float64() == c2.Float64() && c1.Float64() == c2.Float64() && c1.Float64() == c2.Float64() {
+		t.Fatal("sibling splits look identical")
+	}
+	// Reproducibility of the split tree.
+	p2 := New(1)
+	d1 := p2.Split()
+	d2 := p2.Split()
+	e1, e2 := New(1).Split(), func() *RNG { p := New(1); p.Split(); return p.Split() }()
+	_ = e1
+	_ = e2
+	c1b, c2b := d1, d2
+	a, b := New(1).Split(), c1b
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("split stream not reproducible")
+		}
+	}
+	_ = c2b
+}
+
+func sampleMoments(n int, gen func() float64) (mean, variance float64) {
+	var s, s2 float64
+	for i := 0; i < n; i++ {
+		x := gen()
+		s += x
+		s2 += x * x
+	}
+	mean = s / float64(n)
+	variance = s2/float64(n) - mean*mean
+	return
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(2)
+	m, v := sampleMoments(200000, r.Normal)
+	if math.Abs(m) > 0.02 {
+		t.Errorf("normal mean = %v", m)
+	}
+	if math.Abs(v-1) > 0.03 {
+		t.Errorf("normal var = %v", v)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(3)
+	scale := 2.0
+	m, v := sampleMoments(200000, func() float64 { return r.Laplace(scale) })
+	if math.Abs(m) > 0.05 {
+		t.Errorf("laplace mean = %v", m)
+	}
+	if math.Abs(v-2*scale*scale) > 0.3 {
+		t.Errorf("laplace var = %v, want %v", v, 2*scale*scale)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(4)
+	rate := 3.0
+	m, v := sampleMoments(200000, func() float64 { return r.Exponential(rate) })
+	if math.Abs(m-1/rate) > 0.01 {
+		t.Errorf("exp mean = %v", m)
+	}
+	if math.Abs(v-1/(rate*rate)) > 0.01 {
+		t.Errorf("exp var = %v", v)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(5)
+	for _, shape := range []float64{0.5, 1, 2.5, 8} {
+		m, v := sampleMoments(200000, func() float64 { return r.Gamma(shape) })
+		if math.Abs(m-shape) > 0.05*shape+0.02 {
+			t.Errorf("gamma(%v) mean = %v", shape, m)
+		}
+		if math.Abs(v-shape) > 0.1*shape+0.05 {
+			t.Errorf("gamma(%v) var = %v", shape, v)
+		}
+	}
+}
+
+func TestGammaPositive(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 10000; i++ {
+		if g := r.Gamma(0.3); g < 0 {
+			t.Fatalf("negative gamma draw %v", g)
+		}
+	}
+}
+
+func TestChiSquaredMoments(t *testing.T) {
+	r := New(7)
+	k := 5.0
+	m, v := sampleMoments(100000, func() float64 { return r.ChiSquared(k) })
+	if math.Abs(m-k) > 0.1 {
+		t.Errorf("chi2 mean = %v", m)
+	}
+	if math.Abs(v-2*k) > 0.5 {
+		t.Errorf("chi2 var = %v", v)
+	}
+}
+
+func TestStudentTMoments(t *testing.T) {
+	r := New(8)
+	nu := 10.0
+	m, v := sampleMoments(300000, func() float64 { return r.StudentT(nu) })
+	if math.Abs(m) > 0.02 {
+		t.Errorf("t mean = %v", m)
+	}
+	want := nu / (nu - 2)
+	if math.Abs(v-want) > 0.1 {
+		t.Errorf("t var = %v, want %v", v, want)
+	}
+}
+
+func TestGumbelMoments(t *testing.T) {
+	r := New(9)
+	const gamma = 0.5772156649015329
+	m, v := sampleMoments(200000, r.Gumbel)
+	if math.Abs(m-gamma) > 0.02 {
+		t.Errorf("gumbel mean = %v, want %v", m, gamma)
+	}
+	want := math.Pi * math.Pi / 6
+	if math.Abs(v-want) > 0.05 {
+		t.Errorf("gumbel var = %v, want %v", v, want)
+	}
+}
+
+func TestBernoulliRademacher(t *testing.T) {
+	r := New(10)
+	var ones int
+	for i := 0; i < 100000; i++ {
+		ones += r.Bernoulli(0.3)
+	}
+	if p := float64(ones) / 100000; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("bernoulli rate = %v", p)
+	}
+	var s float64
+	for i := 0; i < 100000; i++ {
+		x := r.Rademacher()
+		if x != 1 && x != -1 {
+			t.Fatalf("rademacher = %v", x)
+		}
+		s += x
+	}
+	if math.Abs(s)/100000 > 0.02 {
+		t.Errorf("rademacher bias = %v", s/100000)
+	}
+}
+
+func TestVecFills(t *testing.T) {
+	r := New(11)
+	v := r.NormalVec(make([]float64, 1000), 2)
+	_, varr := sampleMomentsOf(v)
+	if math.Abs(varr-4) > 0.8 {
+		t.Errorf("NormalVec var = %v", varr)
+	}
+	l := r.LaplaceVec(make([]float64, 1000), 1)
+	_, lv := sampleMomentsOf(l)
+	if math.Abs(lv-2) > 0.8 {
+		t.Errorf("LaplaceVec var = %v", lv)
+	}
+}
+
+func sampleMomentsOf(v []float64) (mean, variance float64) {
+	var s, s2 float64
+	for _, x := range v {
+		s += x
+		s2 += x * x
+	}
+	mean = s / float64(len(v))
+	variance = s2/float64(len(v)) - mean*mean
+	return
+}
+
+func TestPanicsOnBadParams(t *testing.T) {
+	r := New(12)
+	for name, f := range map[string]func(){
+		"laplace": func() { r.Laplace(0) },
+		"exp":     func() { r.Exponential(-1) },
+		"gamma":   func() { r.Gamma(0) },
+		"studentt": func() {
+			r.StudentT(-2)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPermShuffle(t *testing.T) {
+	r := New(13)
+	p := r.Perm(10)
+	seen := make([]bool, 10)
+	for _, i := range p {
+		if seen[i] {
+			t.Fatal("Perm repeated an index")
+		}
+		seen[i] = true
+	}
+	v := []int{0, 1, 2, 3, 4}
+	r.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+	sum := 0
+	for _, x := range v {
+		sum += x
+	}
+	if sum != 10 {
+		t.Fatal("Shuffle lost elements")
+	}
+}
