@@ -7,13 +7,16 @@
 package htdp_test
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"htdp"
 	"htdp/internal/dp"
 	"htdp/internal/randx"
 	"htdp/internal/robust"
+	"htdp/internal/vecmath"
 )
 
 // benchCfg keeps per-iteration work bounded while exercising every code
@@ -82,6 +85,102 @@ func BenchmarkRobustGradient(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.EstimateVec(dst, rows)
+	}
+}
+
+// workerLevels sweeps the Parallelism knob: 1 (sequential reference),
+// then doublings up to GOMAXPROCS. On a ≥4-core machine the d ≥ 1000
+// sub-benchmarks below demonstrate the ≥2× speedup of the sharded
+// engine; every level returns bit-identical results.
+func workerLevels() []int {
+	levels := []int{1}
+	for w := 2; w < runtime.GOMAXPROCS(0); w *= 2 {
+		levels = append(levels, w)
+	}
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		levels = append(levels, g)
+	}
+	return levels
+}
+
+// BenchmarkCatoni measures the robust coordinate-wise gradient estimate
+// (EstimateVec) on a 1000-sample, d=2000 chunk across worker counts —
+// the n·d Term evaluation that dominates Algorithms 1 and 5.
+func BenchmarkCatoni(b *testing.B) {
+	const m, d = 1000, 2000
+	r := randx.New(1)
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = r.NormalVec(make([]float64, d), 3)
+	}
+	dst := make([]float64, d)
+	for _, w := range workerLevels() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			e := robust.MeanEstimator{S: 20, Beta: 1, Parallelism: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.EstimateVec(dst, rows)
+			}
+		})
+	}
+}
+
+// BenchmarkCatoniFunc measures the buffer-filling variant
+// (EstimateFunc) on the same shape — the path the optimization loops
+// use, where per-sample gradients are recomputed inside each shard.
+func BenchmarkCatoniFunc(b *testing.B) {
+	const m, d = 1000, 2000
+	r := randx.New(2)
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = r.NormalVec(make([]float64, d), 3)
+	}
+	dst := make([]float64, d)
+	for _, w := range workerLevels() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			e := robust.MeanEstimator{S: 20, Beta: 1, Parallelism: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.EstimateFunc(dst, m, func(i int, buf []float64) { copy(buf, rows[i]) })
+			}
+		})
+	}
+}
+
+// BenchmarkPeelingP measures the parallel noisy top-50 scan in d=10000
+// across worker counts.
+func BenchmarkPeelingP(b *testing.B) {
+	r := randx.New(2)
+	v := r.NormalVec(make([]float64, 10000), 1)
+	for _, w := range workerLevels() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			rng := randx.New(3)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				htdp.PeelingP(rng, v, 50, 1, 1e-5, 0.01, w)
+			}
+		})
+	}
+}
+
+// BenchmarkMatTVec measures the blocked Xᵀv kernel (n=4000, d=1500)
+// behind the LASSO/IHT gradient steps.
+func BenchmarkMatTVec(b *testing.B) {
+	const n, d = 4000, 1500
+	r := randx.New(4)
+	m := vecmath.NewMat(n, d)
+	for i := range m.Data {
+		m.Data[i] = r.Normal()
+	}
+	v := r.NormalVec(make([]float64, n), 1)
+	dst := make([]float64, d)
+	for _, w := range workerLevels() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.MatTVecP(dst, v, w)
+			}
+		})
 	}
 }
 

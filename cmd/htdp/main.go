@@ -35,6 +35,7 @@ func run(args []string, stdout io.Writer) error {
 		reps   = fs.Int("reps", 5, "trials averaged per point (paper: 20)")
 		scale  = fs.Float64("scale", 0.1, "sample-size scale relative to the paper (paper: 1)")
 		seed   = fs.Int64("seed", 1, "base random seed")
+		par    = fs.Int("parallel", 0, "trial-level worker count (0 = all cores, 1 = sequential); results are identical at any setting")
 		csv    = fs.Bool("csv", false, "emit CSV instead of tables")
 		shapes = fs.Bool("shapes", false, "append a qualitative shape report per experiment")
 		out    = fs.String("o", "", "write output to this file instead of stdout")
@@ -75,7 +76,7 @@ func run(args []string, stdout io.Writer) error {
 		specs = []experiments.Spec{s}
 	}
 
-	cfg := experiments.Config{Reps: *reps, Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Reps: *reps, Scale: *scale, Seed: *seed, Parallelism: *par}
 	for _, s := range specs {
 		start := time.Now()
 		panels := s.Run(cfg)

@@ -1,0 +1,3 @@
+module htdp
+
+go 1.24

@@ -24,6 +24,13 @@
 // RobustGaussianGD), the data generators of §6.1, and the experiment
 // registry reproducing Figures 1–11 are exported alongside.
 //
+// Every algorithm's per-coordinate hot path runs on a sharded worker
+// pool (internal/parallel). The Parallelism field on each option struct
+// picks the worker count — 0 for GOMAXPROCS, 1 for sequential — and the
+// engine guarantees bit-identical output at every setting: shard
+// structure depends only on problem size, partial results merge in
+// shard order, and randomized scans split one RNG stream per shard.
+//
 // A minimal end-to-end run:
 //
 //	rng := htdp.NewRNG(1)
@@ -47,6 +54,7 @@ import (
 	"htdp/internal/experiments"
 	"htdp/internal/loss"
 	"htdp/internal/minimax"
+	"htdp/internal/parallel"
 	"htdp/internal/polytope"
 	"htdp/internal/randx"
 	"htdp/internal/robust"
@@ -166,10 +174,23 @@ func SparseOpt(ds *Dataset, opt SparseOptOptions) ([]float64, error) {
 }
 
 // Peeling is the (ε, δ)-DP noisy top-s selection of Algorithm 4; lambda
-// bounds the ℓ∞-sensitivity of v.
+// bounds the ℓ∞-sensitivity of v. The selection scan runs on all cores;
+// PeelingP selects the worker count explicitly.
 func Peeling(r *RNG, v []float64, s int, eps, delta, lambda float64) []float64 {
 	return core.Peeling(r, v, s, eps, delta, lambda)
 }
+
+// PeelingP is Peeling with an explicit worker count (0 → GOMAXPROCS,
+// 1 → sequential); the output is bit-identical at every setting.
+func PeelingP(r *RNG, v []float64, s int, eps, delta, lambda float64, workers int) []float64 {
+	return core.PeelingP(r, v, s, eps, delta, lambda, workers)
+}
+
+// DefaultParallelism resolves a Parallelism knob as every option struct
+// does: 0 → GOMAXPROCS, values below 1 → 1. All algorithms shard their
+// hot paths deterministically, so any setting returns bit-identical
+// results; the knob trades wall-clock only.
+func DefaultParallelism(p int) int { return parallel.Workers(p) }
 
 // Extensions beyond the paper's listings (internal/core).
 type (

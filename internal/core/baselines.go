@@ -8,6 +8,7 @@ import (
 	"htdp/internal/data"
 	"htdp/internal/dp"
 	"htdp/internal/loss"
+	"htdp/internal/parallel"
 	"htdp/internal/polytope"
 	"htdp/internal/randx"
 	"htdp/internal/robust"
@@ -41,14 +42,14 @@ func NonprivateIHT(ds *data.Dataset, s, T int, eta float64) []float64 {
 	d := ds.D()
 	w := make([]float64, d)
 	grad := make([]float64, d)
+	resid := make([]float64, ds.N())
 	n := ds.N()
 	for t := 1; t <= T; t++ {
-		vecmath.Zero(grad)
-		for i := 0; i < n; i++ {
-			row := ds.X.Row(i)
-			r := vecmath.Dot(row, w) - ds.Y[i]
-			vecmath.Axpy(r, row, grad)
+		ds.X.MatVecP(resid, w, 0)
+		for i := range resid {
+			resid[i] -= ds.Y[i]
 		}
+		ds.X.MatTVecP(grad, resid, 0)
 		vecmath.Axpy(-eta/float64(n), grad, w)
 		w = vecmath.HardThreshold(w, s)
 		vecmath.ProjectL2Ball(w, 1)
@@ -84,7 +85,10 @@ type TalwarFWOptions struct {
 	T         int     // 0 → ⌈(nε)^{2/3}⌉ (their theory-optimal order)
 	GradBound float64 // ℓ∞ clip per sample gradient; 0 → 1
 	W0        []float64
-	Rng       *randx.RNG
+	// Parallelism is the worker count for the clipped-gradient sum
+	// (0 → GOMAXPROCS, 1 → sequential); bit-identical at every setting.
+	Parallelism int
+	Rng         *randx.RNG
 }
 
 // TalwarDPFW runs the [50]-style DP-FW baseline. Each iteration scores
@@ -119,15 +123,16 @@ func TalwarDPFW(ds *data.Dataset, opt TalwarFWOptions) ([]float64, error) {
 		copy(w, opt.W0)
 	}
 	grad := make([]float64, d)
-	buf := make([]float64, d)
 	vtx := make([]float64, d)
 	for t := 1; t <= opt.T; t++ {
-		vecmath.Zero(grad)
-		for i := 0; i < n; i++ {
-			opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
-			vecmath.Clip(buf, opt.GradBound)
-			vecmath.Axpy(1, buf, grad)
-		}
+		parallel.ReduceVec(opt.Parallelism, n, grad, func(acc []float64, _, lo, hi int) {
+			buf := make([]float64, d)
+			for i := lo; i < hi; i++ {
+				opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
+				vecmath.Clip(buf, opt.GradBound)
+				vecmath.Axpy(1, buf, acc)
+			}
+		})
 		vecmath.Scale(grad, 1/float64(n))
 		idx := dp.ExponentialLazy(opt.Rng, opt.Domain.NumVertices(), func(i int) float64 {
 			return opt.Domain.VertexScore(i, grad)
@@ -150,7 +155,10 @@ type DPGDOptions struct {
 	T       int     // 0 → 50
 	Clip    float64 // ℓ2 clip bound C; 0 → 1
 	LR      float64 // step size; 0 → 0.1
-	Rng     *randx.RNG
+	// Parallelism is the worker count for the clipped-gradient sum
+	// (0 → GOMAXPROCS, 1 → sequential); bit-identical at every setting.
+	Parallelism int
+	Rng         *randx.RNG
 }
 
 // DPGD runs noisy projected gradient descent over the full data each
@@ -185,14 +193,15 @@ func DPGD(ds *data.Dataset, opt DPGDOptions) ([]float64, error) {
 
 	w := make([]float64, d)
 	grad := make([]float64, d)
-	buf := make([]float64, d)
 	for t := 1; t <= opt.T; t++ {
-		vecmath.Zero(grad)
-		for i := 0; i < n; i++ {
-			opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
-			vecmath.ClipL2(buf, opt.Clip)
-			vecmath.Axpy(1, buf, grad)
-		}
+		parallel.ReduceVec(opt.Parallelism, n, grad, func(acc []float64, _, lo, hi int) {
+			buf := make([]float64, d)
+			for i := lo; i < hi; i++ {
+				opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
+				vecmath.ClipL2(buf, opt.Clip)
+				vecmath.Axpy(1, buf, acc)
+			}
+		})
 		vecmath.Scale(grad, 1/float64(n))
 		for j := range grad {
 			grad[j] += sigma * opt.Rng.Normal()
@@ -219,7 +228,12 @@ type DPSGDOptions struct {
 	Batch   int     // batch size; 0 → max(1, n/50)
 	Clip    float64 // per-sample ℓ2 clip; 0 → 1
 	LR      float64 // 0 → 0.1
-	Rng     *randx.RNG
+	// Parallelism is the worker count for the clipped batch-gradient
+	// sum (0 → GOMAXPROCS, 1 → sequential). Batch indices are drawn
+	// sequentially before the fan-out, so results are bit-identical at
+	// every setting.
+	Parallelism int
+	Rng         *randx.RNG
 }
 
 // DPSGD runs minibatch noisy SGD. Privacy: one step on a uniform batch
@@ -275,15 +289,22 @@ func DPSGD(ds *data.Dataset, opt DPSGDOptions) ([]float64, error) {
 
 	w := make([]float64, d)
 	grad := make([]float64, d)
-	buf := make([]float64, d)
+	batch := make([]int, opt.Batch)
 	for t := 1; t <= opt.T; t++ {
-		vecmath.Zero(grad)
-		for b := 0; b < opt.Batch; b++ {
-			i := opt.Rng.Intn(n)
-			opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
-			vecmath.ClipL2(buf, opt.Clip)
-			vecmath.Axpy(1, buf, grad)
+		// Draw the batch on the single sequential stream, then fan the
+		// clipped-gradient sum out over batch shards.
+		for b := range batch {
+			batch[b] = opt.Rng.Intn(n)
 		}
+		parallel.ReduceVec(opt.Parallelism, opt.Batch, grad, func(acc []float64, _, lo, hi int) {
+			buf := make([]float64, d)
+			for b := lo; b < hi; b++ {
+				i := batch[b]
+				opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
+				vecmath.ClipL2(buf, opt.Clip)
+				vecmath.Axpy(1, buf, acc)
+			}
+		})
 		vecmath.Scale(grad, 1/float64(opt.Batch))
 		for j := range grad {
 			grad[j] += sigma * opt.Rng.Normal()
@@ -311,7 +332,10 @@ type RobustGaussianGDOptions struct {
 	S       float64 // robust truncation scale; 0 → √n (the [57] choice)
 	Beta    float64 // 0 → 1
 	LR      float64 // 0 → 0.1
-	Rng     *randx.RNG
+	// Parallelism is the worker count for the robust-gradient hot path
+	// (0 → GOMAXPROCS, 1 → sequential); bit-identical at every setting.
+	Parallelism int
+	Rng         *randx.RNG
 }
 
 // RobustGaussianGD runs the [57]-style baseline. The robust estimate of
@@ -344,7 +368,7 @@ func RobustGaussianGD(ds *data.Dataset, opt RobustGaussianGDOptions) ([]float64,
 	if opt.LR == 0 {
 		opt.LR = 0.1
 	}
-	est := robust.MeanEstimator{S: opt.S, Beta: opt.Beta}
+	est := robust.MeanEstimator{S: opt.S, Beta: opt.Beta, Parallelism: opt.Parallelism}
 	parts := ds.Split(opt.T)
 
 	w := make([]float64, d)

@@ -40,7 +40,11 @@ type SparseMeanOptions struct {
 	Tau float64
 	// Zeta is the failure probability entering the default K (0 → 0.05).
 	Zeta float64
-	Rng  *randx.RNG
+	// Parallelism is the worker count for the robust coordinate means
+	// and the Peeling scan (0 → GOMAXPROCS, 1 → sequential);
+	// bit-identical at every setting.
+	Parallelism int
+	Rng         *randx.RNG
 }
 
 // SparseMean privately estimates an s*-sparse mean from the rows of x.
@@ -78,11 +82,18 @@ func SparseMean(x *vecmath.Mat, opt SparseMeanOptions) ([]float64, error) {
 	if !(opt.K > 0) {
 		return nil, fmt.Errorf("core: invalid truncation scale K=%v", opt.K)
 	}
-	est := robust.MeanEstimator{S: opt.K, Beta: opt.Beta}
-	mean := est.EstimateFunc(make([]float64, d), n, func(i int, buf []float64) {
-		copy(buf, x.Row(i))
-	})
-	return Peeling(opt.Rng, mean, opt.SStar, opt.Eps, opt.Delta, est.Sensitivity(n)), nil
+	est := robust.MeanEstimator{S: opt.K, Beta: opt.Beta, Parallelism: opt.Parallelism}
+	mean := est.EstimateVec(make([]float64, d), matRows(x))
+	return PeelingP(opt.Rng, mean, opt.SStar, opt.Eps, opt.Delta, est.Sensitivity(n), opt.Parallelism), nil
+}
+
+// matRows adapts a Mat to the row-slice view EstimateVec shards over.
+func matRows(x *vecmath.Mat) [][]float64 {
+	rows := make([][]float64, x.Rows)
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	return rows
 }
 
 // RobustRegressionOptions configures the Theorem 3 instance: ε-DP
@@ -98,8 +109,11 @@ type RobustRegressionOptions struct {
 	T int
 	// Tau bounds E[xⱼ²] (0 → 1); Zeta is the failure probability (0 → 0.05).
 	Tau, Zeta float64
-	Rng       *randx.RNG
-	Trace     Trace
+	// Parallelism is forwarded to the underlying Frank–Wolfe run
+	// (0 → GOMAXPROCS, 1 → sequential).
+	Parallelism int
+	Rng         *randx.RNG
+	Trace       Trace
 }
 
 // RobustRegression runs the Theorem 3 robust-regression algorithm:
@@ -137,15 +151,16 @@ func RobustRegression(ds *data.Dataset, opt RobustRegressionOptions) ([]float64,
 		T = ds.N()
 	}
 	return FrankWolfe(ds, FWOptions{
-		Loss:     loss.Biweight{C: opt.C},
-		Domain:   opt.Domain,
-		Eps:      opt.Eps,
-		T:        T,
-		Tau:      opt.Tau,
-		Zeta:     opt.Zeta,
-		EtaConst: 1 / math.Sqrt(float64(T)),
-		Rng:      opt.Rng,
-		Trace:    opt.Trace,
+		Loss:        loss.Biweight{C: opt.C},
+		Domain:      opt.Domain,
+		Eps:         opt.Eps,
+		T:           T,
+		Tau:         opt.Tau,
+		Zeta:        opt.Zeta,
+		EtaConst:    1 / math.Sqrt(float64(T)),
+		Parallelism: opt.Parallelism,
+		Rng:         opt.Rng,
+		Trace:       opt.Trace,
 	})
 }
 
@@ -165,8 +180,11 @@ type FullDataFWOptions struct {
 	// Beta, Tau, Zeta as in FWOptions (0 → 1, 1, 0.05).
 	Beta, Tau, Zeta float64
 	W0              []float64
-	Rng             *randx.RNG
-	Trace           Trace
+	// Parallelism is the worker count for the robust-gradient hot path
+	// (0 → GOMAXPROCS, 1 → sequential); bit-identical at every setting.
+	Parallelism int
+	Rng         *randx.RNG
+	Trace       Trace
 }
 
 // FullDataFW runs the full-data heavy-tailed DP-FW. Privacy: each
@@ -222,7 +240,7 @@ func FullDataFW(ds *data.Dataset, opt FullDataFWOptions) ([]float64, error) {
 		return nil, errors.New("core: W0 outside the domain")
 	}
 
-	est := robust.MeanEstimator{S: opt.S, Beta: opt.Beta}
+	est := robust.MeanEstimator{S: opt.S, Beta: opt.Beta, Parallelism: opt.Parallelism}
 	epsIter := opt.Eps / (2 * math.Sqrt(2*float64(opt.T)*math.Log(1/opt.Delta)))
 	sens := maxVertexL1(opt.Domain) * est.Sensitivity(n)
 

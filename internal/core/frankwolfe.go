@@ -60,6 +60,11 @@ type FWOptions struct {
 	// w₁…w_T instead of the last iterate — a standard variance-reduction
 	// post-processing that costs no additional privacy.
 	Average bool
+	// Parallelism is the worker count for the sharded robust-gradient
+	// hot path: 0 → GOMAXPROCS, 1 → sequential. The sharded engine is
+	// bit-identical at every setting, so this knob trades wall-clock
+	// only, never results.
+	Parallelism int
 
 	Rng   *randx.RNG
 	Trace Trace
@@ -127,7 +132,7 @@ func FrankWolfe(ds *data.Dataset, opt FWOptions) ([]float64, error) {
 		return nil, err
 	}
 	d := ds.D()
-	est := robust.MeanEstimator{S: opt.S, Beta: opt.Beta}
+	est := robust.MeanEstimator{S: opt.S, Beta: opt.Beta, Parallelism: opt.Parallelism}
 	parts := ds.Split(opt.T)
 
 	w := vecmath.Clone(opt.W0)

@@ -29,6 +29,9 @@ type LassoOptions struct {
 	K float64
 	// W0 is the initial iterate (nil → zero vector).
 	W0 []float64
+	// Parallelism is the worker count for the blocked gradient kernels
+	// (0 → GOMAXPROCS, 1 → sequential); bit-identical at every setting.
+	Parallelism int
 
 	Rng   *randx.RNG
 	Trace Trace
@@ -93,17 +96,18 @@ func Lasso(ds *data.Dataset, opt LassoOptions) ([]float64, error) {
 
 	w := vecmath.Clone(opt.W0)
 	grad := make([]float64, d)
+	resid := make([]float64, n)
 	vtx := make([]float64, d)
 	for t := 1; t <= opt.T; t++ {
 		// Step 4: g̃(w, D̃) = (2/n)·Σ x̃ᵢ(⟨x̃ᵢ, w⟩ − ỹᵢ), the exact
-		// empirical gradient of the squared loss on the shrunken data.
-		vecmath.Zero(grad)
-		for i := 0; i < n; i++ {
-			row := sh.X.Row(i)
-			r := 2 * (vecmath.Dot(row, w) - sh.Y[i])
-			vecmath.Axpy(r, row, grad)
+		// empirical gradient of the squared loss on the shrunken data,
+		// computed as the blocked pair r = X̃w − ỹ, g̃ = (2/n)·X̃ᵀr.
+		sh.X.MatVecP(resid, w, opt.Parallelism)
+		for i := range resid {
+			resid[i] -= sh.Y[i]
 		}
-		vecmath.Scale(grad, 1/float64(n))
+		sh.X.MatTVecP(grad, resid, opt.Parallelism)
+		vecmath.Scale(grad, 2/float64(n))
 		idx := dp.ExponentialLazy(opt.Rng, opt.Domain.NumVertices(), func(i int) float64 {
 			return opt.Domain.VertexScore(i, grad)
 		}, sens, epsIter)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"htdp/internal/parallel"
 	"htdp/internal/randx"
 	"htdp/internal/vecmath"
 )
@@ -18,7 +19,21 @@ import (
 // rounds and the final release use noise scale 2λ√(3s·log(1/δ))/ε.
 //
 // The input v is not modified; the result is a fresh s-sparse vector.
+// Peeling runs the selection scan on GOMAXPROCS workers; PeelingP
+// selects the worker count explicitly.
 func Peeling(r *randx.RNG, v []float64, s int, eps, delta, lambda float64) []float64 {
+	return PeelingP(r, v, s, eps, delta, lambda, 0)
+}
+
+// PeelingP is Peeling with an explicit worker count (0 → GOMAXPROCS,
+// 1 → sequential). Each selection round shards the coordinate range
+// across workers; every shard draws its Laplace noise from its own
+// child stream split off r in shard order, computes a local noisy
+// argmax, and the shard maxima merge in shard order with a strict
+// comparison — reproducing the sequential first-argmax scan exactly.
+// The shard structure and streams depend only on (r, len(v)), so the
+// output is bit-identical for every worker count.
+func PeelingP(r *randx.RNG, v []float64, s int, eps, delta, lambda float64, workers int) []float64 {
 	if s < 1 || s > len(v) {
 		panic(fmt.Sprintf("core: Peeling s=%d outside [1,%d]", s, len(v)))
 	}
@@ -29,26 +44,45 @@ func Peeling(r *randx.RNG, v []float64, s int, eps, delta, lambda float64) []flo
 		panic("core: Peeling negative noise scale")
 	}
 	scale := 2 * lambda * math.Sqrt(3*float64(s)*math.Log(1/delta)) / eps
-	selected := make([]bool, len(v))
+	d := len(v)
+	selected := make([]bool, d)
 	idx := make([]int, 0, s)
+	type argmax struct {
+		score float64
+		j     int
+	}
+	bests := make([]argmax, parallel.NumShards(d))
 	for i := 0; i < s; i++ {
-		best, bj := math.Inf(-1), -1
-		for j := range v {
-			if selected[j] {
-				continue
+		var rngs []*randx.RNG
+		if scale > 0 {
+			rngs = parallel.SplitRNGs(r, d)
+		}
+		parallel.For(workers, d, func(shard, lo, hi int) {
+			b := argmax{math.Inf(-1), -1}
+			for j := lo; j < hi; j++ {
+				if selected[j] {
+					continue
+				}
+				score := math.Abs(v[j])
+				if rngs != nil {
+					score += rngs[shard].Laplace(scale)
+				}
+				if score > b.score {
+					b = argmax{score, j}
+				}
 			}
-			score := math.Abs(v[j])
-			if scale > 0 {
-				score += r.Laplace(scale)
-			}
-			if score > best {
-				best, bj = score, j
+			bests[shard] = b
+		})
+		win := argmax{math.Inf(-1), -1}
+		for _, b := range bests {
+			if b.j >= 0 && b.score > win.score {
+				win = b
 			}
 		}
-		selected[bj] = true
-		idx = append(idx, bj)
+		selected[win.j] = true
+		idx = append(idx, win.j)
 	}
-	out := make([]float64, len(v))
+	out := make([]float64, d)
 	for _, j := range idx {
 		out[j] = v[j]
 		if scale > 0 {

@@ -33,6 +33,10 @@ type SparseLinRegOptions struct {
 	// W0 is the initial iterate; it must be S-sparse with ‖W0‖₂ ≤ 1
 	// (nil → zero vector).
 	W0 []float64
+	// Parallelism is the worker count for the blocked gradient kernels
+	// and the Peeling scan (0 → GOMAXPROCS, 1 → sequential);
+	// bit-identical at every setting.
+	Parallelism int
 
 	Rng   *randx.RNG
 	Trace Trace
@@ -103,20 +107,22 @@ func SparseLinReg(ds *data.Dataset, opt SparseLinRegOptions) ([]float64, error) 
 
 	w := vecmath.Clone(opt.W0)
 	grad := make([]float64, d)
+	resid := make([]float64, ds.N())
 	for t := 1; t <= opt.T; t++ {
 		part := parts[t-1]
 		m := part.N()
-		// Step 5: w_{t+0.5} = w_t − (η₀/m)·Σ x̃(⟨x̃, w_t⟩ − ỹ).
-		vecmath.Zero(grad)
+		// Step 5: w_{t+0.5} = w_t − (η₀/m)·Σ x̃(⟨x̃, w_t⟩ − ỹ),
+		// via the blocked pair r = X̃w − ỹ, grad = X̃ᵀr.
+		r := resid[:m]
+		part.X.MatVecP(r, w, opt.Parallelism)
 		for i := 0; i < m; i++ {
-			row := part.X.Row(i)
-			r := vecmath.Dot(row, w) - part.Y[i]
-			vecmath.Axpy(r, row, grad)
+			r[i] -= part.Y[i]
 		}
+		part.X.MatTVecP(grad, r, opt.Parallelism)
 		vecmath.Axpy(-opt.Eta0/float64(m), grad, w)
 		// Step 6: Peeling with λ = 2K²η₀(√s+1)/m.
 		lambda := 2 * opt.K * opt.K * opt.Eta0 * (math.Sqrt(float64(opt.S)) + 1) / float64(m)
-		w = Peeling(opt.Rng, w, opt.S, opt.Eps, opt.Delta, lambda)
+		w = PeelingP(opt.Rng, w, opt.S, opt.Eps, opt.Delta, lambda, opt.Parallelism)
 		// Step 7: project onto the unit ℓ2 ball.
 		vecmath.ProjectL2Ball(w, 1)
 		if opt.Trace != nil {

@@ -45,6 +45,10 @@ type SparseOptOptions struct {
 	Eta float64
 	// W0 is the initial iterate, S-sparse (nil → zero vector).
 	W0 []float64
+	// Parallelism is the worker count for the sharded robust-gradient
+	// and Peeling hot paths (0 → GOMAXPROCS, 1 → sequential);
+	// bit-identical at every setting.
+	Parallelism int
 
 	Rng   *randx.RNG
 	Trace Trace
@@ -123,7 +127,7 @@ func SparseOpt(ds *data.Dataset, opt SparseOptOptions) ([]float64, error) {
 		return nil, err
 	}
 	d := ds.D()
-	est := robust.MeanEstimator{S: opt.K, Beta: opt.Beta}
+	est := robust.MeanEstimator{S: opt.K, Beta: opt.Beta, Parallelism: opt.Parallelism}
 	parts := ds.Split(opt.T)
 
 	w := vecmath.Clone(opt.W0)
@@ -141,7 +145,7 @@ func SparseOpt(ds *data.Dataset, opt SparseOptOptions) ([]float64, error) {
 		// η·‖g̃−g̃′‖∞ ≤ η·4√2·k/(3m) (the listing's 4√2·k·η/m is the
 		// same bound with the 1/3 absorbed; we use the tight constant).
 		lambda := opt.Eta * est.Sensitivity(m)
-		w = Peeling(opt.Rng, w, opt.S, opt.Eps, opt.Delta, lambda)
+		w = PeelingP(opt.Rng, w, opt.S, opt.Eps, opt.Delta, lambda, opt.Parallelism)
 		if opt.Trace != nil {
 			opt.Trace(t, w)
 		}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"htdp/internal/parallel"
 	"htdp/internal/randx"
 	"htdp/internal/vecmath"
 )
@@ -237,24 +238,26 @@ func (d *Dataset) Bootstrap(r *randx.RNG, m int) *Dataset {
 // Standardize rescales every feature column in place to unit empirical
 // second moment (skipping all-zero columns) and returns the per-column
 // scales applied. Mirrors the usual preprocessing for the UCI runs.
+// Column moments and the rescale both run on the row-sharded engine,
+// so the scales are deterministic for any GOMAXPROCS.
 func Standardize(d *Dataset) []float64 {
+	moments := vecmath.ColMomentsP(d.X, 0)
 	scales := make([]float64, d.D())
-	for j := 0; j < d.D(); j++ {
-		var m2 float64
-		for i := 0; i < d.N(); i++ {
-			v := d.X.At(i, j)
-			m2 += v * v
-		}
-		m2 /= float64(d.N())
+	for j, o := range moments {
+		m2 := o.Var() + o.Mean*o.Mean // (1/n)·Σ x² from the Welford pair
 		if m2 == 0 {
 			scales[j] = 1
 			continue
 		}
-		s := 1 / math.Sqrt(m2)
-		scales[j] = s
-		for i := 0; i < d.N(); i++ {
-			d.X.Set(i, j, d.X.At(i, j)*s)
-		}
+		scales[j] = 1 / math.Sqrt(m2)
 	}
+	parallel.For(0, d.N(), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := d.X.Row(i)
+			for j := range row {
+				row[j] *= scales[j]
+			}
+		}
+	})
 	return scales
 }

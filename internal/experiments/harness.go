@@ -12,13 +12,13 @@ package experiments
 
 import (
 	"fmt"
-	"htdp/internal/vecmath"
 	"io"
-	"runtime"
 	"sort"
 	"sync"
 
+	"htdp/internal/parallel"
 	"htdp/internal/randx"
+	"htdp/internal/vecmath"
 )
 
 // Config controls the fidelity/cost trade-off of a run.
@@ -32,6 +32,12 @@ type Config struct {
 	// Seed is the base seed; every (panel, series, point, rep) derives a
 	// distinct deterministic stream from it. 0 → 1.
 	Seed int64
+	// Parallelism is the trial-level worker count of every sweep
+	// (0 → GOMAXPROCS, 1 → sequential). Trials are independent and each
+	// runs on its own deterministic stream, so the setting changes
+	// wall-clock only, never results. Algorithms inside a trial use
+	// their own Parallelism knob (default: all cores).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -123,7 +129,7 @@ func sweep(cfg Config, name string, xs []float64, seedOff int64, f trialFn) Seri
 		results[i] = make([]float64, cfg.Reps)
 	}
 	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
+	workers := parallel.Workers(cfg.Parallelism)
 	if workers > cfg.Reps*len(xs) {
 		workers = cfg.Reps * len(xs)
 	}

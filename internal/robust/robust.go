@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"htdp/internal/parallel"
 )
 
 // PhiBound is the uniform bound |φ| ≤ 2√2/3 of the truncation function.
@@ -139,6 +141,14 @@ func smoothedPhiStable(a, b float64) float64 {
 type MeanEstimator struct {
 	S    float64 // truncation scale s > 0
 	Beta float64 // noise precision β > 0 (paper sets β = O(1))
+
+	// Parallelism is the worker count for the vector estimators
+	// (EstimateVec, EstimateFunc): 0 → GOMAXPROCS, 1 → sequential. The
+	// sharded evaluation is bit-identical for every setting — EstimateVec
+	// shards the coordinate space into disjoint writes, and EstimateFunc
+	// merges fixed sample-shard partials in shard order — so this knob
+	// trades wall-clock only, never results.
+	Parallelism int
 }
 
 // Validate reports whether the parameters are usable.
@@ -202,41 +212,53 @@ func (e MeanEstimator) EstimateVec(dst []float64, rows [][]float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, d)
 	}
-	for j := range dst {
-		dst[j] = 0
-	}
 	for _, row := range rows {
 		if len(row) != d {
 			panic("robust: EstimateVec ragged rows")
 		}
-		for j, x := range row {
-			dst[j] += e.Term(x)
-		}
 	}
 	inv := 1 / float64(len(rows))
-	for j := range dst {
-		dst[j] *= inv
-	}
+	// Shard the coordinate range [0, d): every worker owns dst[lo:hi]
+	// outright and accumulates samples in row order, so the result is
+	// bit-identical to the sequential double loop at any worker count.
+	parallel.For(e.Parallelism, d, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = 0
+		}
+		for _, row := range rows {
+			for j := lo; j < hi; j++ {
+				dst[j] += e.Term(row[j])
+			}
+		}
+		for j := lo; j < hi; j++ {
+			dst[j] *= inv
+		}
+	})
 	return dst
 }
 
 // EstimateFunc is EstimateVec without materializing sample rows: grad is
 // called once per sample index with a scratch buffer to fill. Used on
 // hot paths where per-sample gradients are cheap to recompute.
+//
+// The sample range is sharded across Parallelism workers, each with its
+// own scratch buffer, so grad may run concurrently for different i and
+// must not write shared state beyond buf. Per-shard partial sums merge
+// in shard order; the shard structure depends only on n, so the output
+// is bit-identical for every worker count.
 func (e MeanEstimator) EstimateFunc(dst []float64, n int, grad func(i int, buf []float64)) []float64 {
 	if n <= 0 {
 		panic("robust: EstimateFunc needs n > 0")
 	}
-	buf := make([]float64, len(dst))
-	for j := range dst {
-		dst[j] = 0
-	}
-	for i := 0; i < n; i++ {
-		grad(i, buf)
-		for j, x := range buf {
-			dst[j] += e.Term(x)
+	parallel.ReduceVec(e.Parallelism, n, dst, func(acc []float64, _, lo, hi int) {
+		buf := make([]float64, len(acc))
+		for i := lo; i < hi; i++ {
+			grad(i, buf)
+			for j, x := range buf {
+				acc[j] += e.Term(x)
+			}
 		}
-	}
+	})
 	inv := 1 / float64(n)
 	for j := range dst {
 		dst[j] *= inv

@@ -114,24 +114,10 @@ func (m *Mat) Mul(b *Mat) *Mat {
 // Gram returns the d×d second-moment matrix (1/n)·XᵀX of a data matrix
 // whose rows are samples. This estimates E[xxᵀ], whose extremal
 // eigenvalues γ=λmax and µ=λmin parameterize Theorems 5, 7, and 8.
+// It runs the blocked kernel on all cores; GramP selects the worker
+// count explicitly.
 func (m *Mat) Gram() *Mat {
-	d := m.Cols
-	g := NewMat(d, d)
-	for i := 0; i < m.Rows; i++ {
-		r := m.Row(i)
-		for a := 0; a < d; a++ {
-			ra := r[a]
-			if ra == 0 {
-				continue
-			}
-			ga := g.Row(a)
-			for b := 0; b < d; b++ {
-				ga[b] += ra * r[b]
-			}
-		}
-	}
-	Scale(g.Data, 1/float64(m.Rows))
-	return g
+	return m.GramP(0)
 }
 
 // SymEigMax estimates the largest eigenvalue of a symmetric matrix by
