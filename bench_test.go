@@ -12,6 +12,9 @@ import (
 	"runtime"
 	"testing"
 
+	"os"
+	"path/filepath"
+
 	"htdp"
 	"htdp/internal/dp"
 	"htdp/internal/randx"
@@ -290,6 +293,89 @@ func BenchmarkSparseLinRegRun(b *testing.B) {
 		if _, err := htdp.SparseLinReg(ds, htdp.SparseLinRegOptions{
 			Eps: 1, Delta: 1e-5, SStar: 10, Rng: randx.New(int64(i)),
 		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchStreamOpt is the shared workload of the Source-backend
+// benchmarks: heavy-tailed linear regression at n=20000, d=200.
+var benchStreamOpt = htdp.LinearOpt{
+	N: 20000, D: 200,
+	Feature: htdp.LogNormal{Mu: 0, Sigma: 0.9},
+	Noise:   htdp.Normal{Mu: 0, Sigma: 0.3},
+}
+
+// benchSourceFW runs one ε-DP Frank–Wolfe pass from the given source.
+func benchSourceFW(b *testing.B, src htdp.Source) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := htdp.FrankWolfeSource(src, htdp.FWOptions{
+			Loss: htdp.SquaredLoss{}, Domain: htdp.NewL1Ball(benchStreamOpt.D, 1),
+			Eps: 1, Rng: randx.New(int64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSourceMemFW is the in-memory baseline of the Source sweep:
+// chunks are zero-copy views.
+func BenchmarkSourceMemFW(b *testing.B) {
+	src := htdp.NewMemSource(htdp.LinearSource(11, benchStreamOpt).Materialize())
+	benchSourceFW(b, src)
+}
+
+// BenchmarkSourceGenFW regenerates every chunk on demand — the price
+// of trading memory for compute.
+func BenchmarkSourceGenFW(b *testing.B) {
+	benchSourceFW(b, htdp.LinearSource(11, benchStreamOpt))
+}
+
+// BenchmarkSourceCSVFW streams every chunk from a CSV on disk — the
+// price of trading memory for I/O and parsing.
+func BenchmarkSourceCSVFW(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := htdp.WriteCSV(f, htdp.LinearSource(11, benchStreamOpt).Materialize()); err != nil {
+		b.Fatal(err)
+	}
+	f.Close()
+	src, err := htdp.OpenCSV(path, "bench", -1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	benchSourceFW(b, src)
+}
+
+// BenchmarkSourceCSVChunk isolates the per-chunk cost of the CSV
+// backend: seek + parse of one StreamRows-sized chunk.
+func BenchmarkSourceCSVChunk(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "chunk.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := htdp.WriteCSV(f, htdp.LinearSource(12, benchStreamOpt).Materialize()); err != nil {
+		b.Fatal(err)
+	}
+	f.Close()
+	src, err := htdp.OpenCSV(path, "bench", -1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	C := htdp.StreamChunks(benchStreamOpt.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Chunk(i%C, C); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"htdp/internal/data"
+	"htdp/internal/randx"
 )
 
 func TestList(t *testing.T) {
@@ -72,5 +75,62 @@ func TestRunCSVToFile(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "abl-shrink-k,a,") {
 		t.Fatalf("CSV row = %q", lines[0])
+	}
+}
+
+// writeStreamCSV materializes a small synthetic dataset as a CSV file
+// for the -stream tests.
+func writeStreamCSV(t *testing.T, n, d int) string {
+	t.Helper()
+	gen := data.LinearSource(5, data.LinearOpt{
+		N: n, D: d,
+		Feature: randx.LogNormal{Mu: 0, Sigma: 0.8},
+		Noise:   randx.Normal{Mu: 0, Sigma: 0.3},
+	})
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf, gen.Materialize()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "stream.csv")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStreamMode(t *testing.T) {
+	path := writeStreamCSV(t, 400, 8)
+	for _, algo := range []string{"fw", "lasso", "iht", "sparseopt"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-stream", path, "-algo", algo, "-eps", "2", "-sstar", "3", "-T", "3"}, &buf); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "n=400 d=8") || !strings.Contains(out, "risk(ŵ)=") {
+			t.Fatalf("%s: unexpected output:\n%s", algo, out)
+		}
+	}
+}
+
+func TestStreamModeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-stream", filepath.Join(t.TempDir(), "nope.csv")}, &buf); err == nil {
+		t.Fatal("missing file: expected error")
+	}
+	path := writeStreamCSV(t, 50, 3)
+	if err := run([]string{"-stream", path, "-algo", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown algo: expected error")
+	}
+}
+
+func TestStreamFeedsStreamingExperiment(t *testing.T) {
+	path := writeStreamCSV(t, 300, 6)
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "streaming", "-stream", path, "-reps", "2", "-scale", "0.01"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "config.source") || !strings.Contains(out, "dpfw-stream") {
+		t.Fatalf("unexpected output:\n%s", out)
 	}
 }

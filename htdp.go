@@ -48,6 +48,8 @@
 package htdp
 
 import (
+	"io"
+
 	"htdp/internal/core"
 	"htdp/internal/data"
 	"htdp/internal/dp"
@@ -90,6 +92,17 @@ type (
 	LinearOpt   = data.LinearOpt
 	LogisticOpt = data.LogisticOpt
 	RealSpec    = data.RealSpec
+
+	// Source abstracts where the rows live: every algorithm consumes T
+	// disjoint contiguous chunks, and a Source serves exactly that —
+	// from memory (MemSource), from disk (CSVSource), or generated on
+	// demand (GenSource). All backends yield bit-identical chunks for
+	// the same rows, so streamed and in-memory runs agree bit for bit
+	// (see DESIGN.md, "Source backends").
+	Source    = data.Source
+	MemSource = data.MemSource
+	CSVSource = data.CSVSource
+	GenSource = data.GenSource
 )
 
 // LinearData generates the §6.1 linear model y = ⟨w*, x⟩ + ι.
@@ -110,6 +123,47 @@ func SimulatedReal(r *RNG, spec RealSpec, scale float64) *Dataset {
 // RealSpecs lists the four §6.1 dataset profiles.
 func RealSpecs() []RealSpec { return data.RealSpecs }
 
+// ReadCSV parses a numeric CSV into an in-memory Dataset (labelCol
+// negative counts from the end; −1 is the last column). For data larger
+// than memory use OpenCSV instead.
+func ReadCSV(r io.Reader, label string, labelCol int, hasHeader bool) (*Dataset, error) {
+	return data.ReadCSV(r, label, labelCol, hasHeader)
+}
+
+// WriteCSV writes the dataset as numeric CSV with the label last — the
+// inverse of ReadCSV/OpenCSV with labelCol = −1, in shortest
+// round-trip decimal, so streaming the file back yields bit-identical
+// rows.
+func WriteCSV(w io.Writer, ds *Dataset) error { return data.WriteCSV(w, ds) }
+
+// NewMemSource wraps an in-memory dataset as a Source (zero-copy chunk
+// views).
+func NewMemSource(ds *Dataset) *MemSource { return data.NewMemSource(ds) }
+
+// OpenCSV opens a numeric CSV file as an out-of-core Source: one scan
+// indexes the row offsets (8 bytes/row) and each Chunk call reads only
+// its row range, so peak memory is one chunk instead of n×d.
+func OpenCSV(path, label string, labelCol int, hasHeader bool) (*CSVSource, error) {
+	return data.OpenCSV(path, label, labelCol, hasHeader)
+}
+
+// LinearSource is the streaming counterpart of LinearData: chunks of
+// the §6.1 linear model are generated on demand from per-row seeded
+// streams, bit-identical to the eager Materialize for every chunking.
+func LinearSource(seed int64, opt LinearOpt) *GenSource { return data.LinearSource(seed, opt) }
+
+// LogisticSource is the streaming counterpart of LogisticData.
+func LogisticSource(seed int64, opt LogisticOpt) *GenSource { return data.LogisticSource(seed, opt) }
+
+// Materialize loads a whole source into one in-memory Dataset (n×d
+// resident; use only when that fits).
+func Materialize(src Source) (*Dataset, error) { return data.Materialize(src) }
+
+// StreamChunks returns the number of chunks a full-data pass streams a
+// source of n rows in — a function of n only, so in-memory and
+// streamed runs share one summation order.
+func StreamChunks(n int) int { return data.StreamChunks(n) }
+
 // Losses (internal/loss).
 type (
 	Loss            = loss.Loss
@@ -128,6 +182,18 @@ func EmpiricalRisk(l Loss, w []float64, ds *Dataset) float64 {
 // ExcessRisk evaluates EmpiricalRisk(w) − EmpiricalRisk(ref).
 func ExcessRisk(l Loss, w, ref []float64, ds *Dataset) float64 {
 	return loss.ExcessRisk(l, w, ref, ds.X, ds.Y)
+}
+
+// EmpiricalRiskSource evaluates the empirical risk over a streaming
+// source, one chunk resident at a time.
+func EmpiricalRiskSource(l Loss, w []float64, src Source) (float64, error) {
+	return loss.EmpiricalSource(l, w, src, 0)
+}
+
+// ExcessRiskSource evaluates EmpiricalRiskSource(w) −
+// EmpiricalRiskSource(ref) in two streaming passes.
+func ExcessRiskSource(l Loss, w, ref []float64, src Source) (float64, error) {
+	return loss.ExcessRiskSource(l, w, ref, src, 0)
 }
 
 // Constraint sets (internal/polytope).
@@ -156,9 +222,23 @@ func FrankWolfe(ds *Dataset, opt FWOptions) ([]float64, error) {
 	return core.FrankWolfe(ds, opt)
 }
 
+// FrankWolfeSource runs Algorithm 1 over a streaming source; iteration
+// t loads only chunk t−1 of T, so n may exceed local memory. Output is
+// bit-identical to FrankWolfe on the same rows.
+func FrankWolfeSource(src Source, opt FWOptions) ([]float64, error) {
+	return core.FrankWolfeSource(src, opt)
+}
+
 // Lasso runs Heavy-tailed Private LASSO (Algorithm 2); (ε, δ)-DP.
 func Lasso(ds *Dataset, opt LassoOptions) ([]float64, error) {
 	return core.Lasso(ds, opt)
+}
+
+// LassoSource runs Algorithm 2 over a streaming source: every
+// iteration streams the shrunken data one chunk at a time. Output is
+// bit-identical to Lasso on the same rows.
+func LassoSource(src Source, opt LassoOptions) ([]float64, error) {
+	return core.LassoSource(src, opt)
 }
 
 // SparseLinReg runs Heavy-tailed Private Sparse Linear Regression
@@ -167,10 +247,23 @@ func SparseLinReg(ds *Dataset, opt SparseLinRegOptions) ([]float64, error) {
 	return core.SparseLinReg(ds, opt)
 }
 
+// SparseLinRegSource runs Algorithm 3 over a streaming source; chunks
+// are shrunken on load. Output is bit-identical to SparseLinReg on the
+// same rows.
+func SparseLinRegSource(src Source, opt SparseLinRegOptions) ([]float64, error) {
+	return core.SparseLinRegSource(src, opt)
+}
+
 // SparseOpt runs Heavy-tailed Private Sparse Optimization
 // (Algorithm 5); (ε, δ)-DP.
 func SparseOpt(ds *Dataset, opt SparseOptOptions) ([]float64, error) {
 	return core.SparseOpt(ds, opt)
+}
+
+// SparseOptSource runs Algorithm 5 over a streaming source. Output is
+// bit-identical to SparseOpt on the same rows.
+func SparseOptSource(src Source, opt SparseOptOptions) ([]float64, error) {
+	return core.SparseOptSource(src, opt)
 }
 
 // Peeling is the (ε, δ)-DP noisy top-s selection of Algorithm 4; lambda
@@ -203,6 +296,19 @@ type (
 // estimator: robust coordinate means plus a single Peeling release.
 func SparseMean(x *Mat, opt SparseMeanOptions) ([]float64, error) {
 	return core.SparseMean(x, opt)
+}
+
+// SparseMeanSource is SparseMean over a streaming source (labels
+// ignored); the robust coordinate means accumulate one chunk at a
+// time.
+func SparseMeanSource(src Source, opt SparseMeanOptions) ([]float64, error) {
+	return core.SparseMeanSource(src, opt)
+}
+
+// FullDataFWSource is FullDataFW over a streaming source; each
+// iteration streams the whole source chunk by chunk.
+func FullDataFWSource(src Source, opt FullDataFWOptions) ([]float64, error) {
+	return core.FullDataFWSource(src, opt)
 }
 
 // RobustRegression runs the Theorem 3 instance: ε-DP Frank–Wolfe on the

@@ -15,12 +15,23 @@ import (
 	"htdp/internal/vecmath"
 )
 
-// NonprivateFW runs exact Frank–Wolfe for T iterations: the full
-// empirical gradient and exact linear minimization over the vertex set.
-// The experiments use it both as the ε→∞ reference and to compute the
-// non-private optimum w* for excess-risk measurements (§6.2).
+// NonprivateFW runs exact Frank–Wolfe on an in-memory dataset; it is
+// NonprivateFWSource over a MemSource. The experiments use it both as
+// the ε→∞ reference and to compute the non-private optimum w* for
+// excess-risk measurements (§6.2).
 func NonprivateFW(ds *data.Dataset, l loss.Loss, p polytope.Polytope, T int, w0 []float64) []float64 {
-	d := ds.D()
+	w, err := NonprivateFWSource(data.NewMemSource(ds), l, p, T, w0)
+	if err != nil {
+		panic(err) // unreachable: MemSource chunks cannot fail
+	}
+	return w
+}
+
+// NonprivateFWSource runs exact Frank–Wolfe for T iterations over a
+// data source: the full empirical gradient — streamed one chunk at a
+// time — and exact linear minimization over the vertex set.
+func NonprivateFWSource(src data.Source, l loss.Loss, p polytope.Polytope, T int, w0 []float64) ([]float64, error) {
+	d := src.D()
 	w := make([]float64, d)
 	if w0 != nil {
 		copy(w, w0)
@@ -28,44 +39,73 @@ func NonprivateFW(ds *data.Dataset, l loss.Loss, p polytope.Polytope, T int, w0 
 	grad := make([]float64, d)
 	vtx := make([]float64, d)
 	for t := 1; t <= T; t++ {
-		loss.FullGradient(l, grad, w, ds.X, ds.Y)
+		if _, err := loss.FullGradientSource(l, grad, w, src, 0); err != nil {
+			return nil, fmt.Errorf("core: NonprivateFW: %w", err)
+		}
 		p.Vertex(polytope.ArgminLinear(p, grad), vtx)
 		vecmath.Lerp(w, w, vtx, 2/float64(t+2))
+	}
+	return w, nil
+}
+
+// NonprivateIHT runs plain iterative hard thresholding on an in-memory
+// dataset; it is NonprivateIHTSource over a MemSource.
+func NonprivateIHT(ds *data.Dataset, s, T int, eta float64) []float64 {
+	w, err := NonprivateIHTSource(data.NewMemSource(ds), s, T, eta)
+	if err != nil {
+		panic(err) // unreachable: MemSource chunks cannot fail
 	}
 	return w
 }
 
-// NonprivateIHT runs plain iterative hard thresholding on the squared
-// loss: full-gradient steps followed by exact top-s truncation and
-// projection onto the unit ℓ2 ball — the ε→∞ reference for Algorithm 3.
-func NonprivateIHT(ds *data.Dataset, s, T int, eta float64) []float64 {
-	d := ds.D()
+// NonprivateIHTSource runs plain iterative hard thresholding on the
+// squared loss over a data source: full-gradient steps — accumulated
+// chunk by chunk as r = Xw − y, grad += Xᵀr — followed by exact top-s
+// truncation and projection onto the unit ℓ2 ball. The ε→∞ reference
+// for Algorithm 3.
+func NonprivateIHTSource(src data.Source, s, T int, eta float64) ([]float64, error) {
+	n, d := src.N(), src.D()
+	C := data.StreamChunks(n)
 	w := make([]float64, d)
 	grad := make([]float64, d)
-	resid := make([]float64, ds.N())
-	n := ds.N()
+	part := make([]float64, d)
+	resid := make([]float64, data.MaxChunkRows(n, C))
 	for t := 1; t <= T; t++ {
-		ds.X.MatVecP(resid, w, 0)
-		for i := range resid {
-			resid[i] -= ds.Y[i]
+		vecmath.Zero(grad)
+		err := data.EachChunk(src, C, func(_ int, ck *data.Dataset) error {
+			m := ck.N()
+			r := resid[:m]
+			ck.X.MatVecP(r, w, 0)
+			for i := 0; i < m; i++ {
+				r[i] -= ck.Y[i]
+			}
+			ck.X.MatTVecP(part, r, 0)
+			vecmath.Axpy(1, part, grad)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: NonprivateIHT: %w", err)
 		}
-		ds.X.MatTVecP(grad, resid, 0)
 		vecmath.Axpy(-eta/float64(n), grad, w)
 		w = vecmath.HardThreshold(w, s)
 		vecmath.ProjectL2Ball(w, 1)
 	}
-	return w
+	return w, nil
 }
 
 // NonprivateSparseGD runs full-gradient descent with exact hard
 // thresholding for an arbitrary loss — the ε→∞ reference for
-// Algorithm 5.
+// Algorithm 5. The gradient streams over a MemSource chunk by chunk,
+// matching the summation order of every Source-based run.
 func NonprivateSparseGD(ds *data.Dataset, l loss.Loss, s, T int, eta float64) []float64 {
+	src := data.NewMemSource(ds)
 	d := ds.D()
 	w := make([]float64, d)
 	grad := make([]float64, d)
 	for t := 1; t <= T; t++ {
-		loss.FullGradient(l, grad, w, ds.X, ds.Y)
+		if _, err := loss.FullGradientSource(l, grad, w, src, 0); err != nil {
+			panic(err) // unreachable: MemSource chunks cannot fail
+		}
 		vecmath.Axpy(-eta, grad, w)
 		w = vecmath.HardThreshold(w, s)
 	}
@@ -91,11 +131,18 @@ type TalwarFWOptions struct {
 	Rng         *randx.RNG
 }
 
-// TalwarDPFW runs the [50]-style DP-FW baseline. Each iteration scores
-// vertices against the clipped full-data gradient; the score sensitivity
-// is ‖W‖₁·2·GradBound/n and the per-iteration budget comes from advanced
-// composition, so the run is (ε, δ)-DP.
+// TalwarDPFW runs the [50]-style DP-FW baseline on an in-memory
+// dataset; it is TalwarDPFWSource over a MemSource.
 func TalwarDPFW(ds *data.Dataset, opt TalwarFWOptions) ([]float64, error) {
+	return TalwarDPFWSource(data.NewMemSource(ds), opt)
+}
+
+// TalwarDPFWSource runs the [50]-style DP-FW baseline over a data
+// source. Each iteration scores vertices against the clipped full-data
+// gradient, accumulated one chunk at a time; the score sensitivity is
+// ‖W‖₁·2·GradBound/n and the per-iteration budget comes from advanced
+// composition, so the run is (ε, δ)-DP.
+func TalwarDPFWSource(src data.Source, opt TalwarFWOptions) ([]float64, error) {
 	if opt.Loss == nil || opt.Domain == nil || opt.Rng == nil {
 		return nil, errors.New("core: TalwarFWOptions needs Loss, Domain and Rng")
 	}
@@ -105,7 +152,7 @@ func TalwarDPFW(ds *data.Dataset, opt TalwarFWOptions) ([]float64, error) {
 	if opt.Delta == 0 {
 		return nil, errors.New("core: TalwarDPFW needs δ > 0")
 	}
-	n, d := ds.N(), ds.D()
+	n, d := src.N(), src.D()
 	if opt.T == 0 {
 		opt.T = int(math.Ceil(math.Pow(float64(n)*opt.Eps, 2.0/3)))
 	}
@@ -115,6 +162,7 @@ func TalwarDPFW(ds *data.Dataset, opt TalwarFWOptions) ([]float64, error) {
 	if opt.GradBound == 0 {
 		opt.GradBound = 1
 	}
+	C := data.StreamChunks(n)
 	epsIter := opt.Eps / (2 * math.Sqrt(2*float64(opt.T)*math.Log(1/opt.Delta)))
 	sens := maxVertexL1(opt.Domain) * 2 * opt.GradBound / float64(n)
 
@@ -123,16 +171,25 @@ func TalwarDPFW(ds *data.Dataset, opt TalwarFWOptions) ([]float64, error) {
 		copy(w, opt.W0)
 	}
 	grad := make([]float64, d)
+	part := make([]float64, d)
 	vtx := make([]float64, d)
 	for t := 1; t <= opt.T; t++ {
-		parallel.ReduceVec(opt.Parallelism, n, grad, func(acc []float64, _, lo, hi int) {
-			buf := make([]float64, d)
-			for i := lo; i < hi; i++ {
-				opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
-				vecmath.Clip(buf, opt.GradBound)
-				vecmath.Axpy(1, buf, acc)
-			}
+		vecmath.Zero(grad)
+		err := data.EachChunk(src, C, func(_ int, ck *data.Dataset) error {
+			parallel.ReduceVec(opt.Parallelism, ck.N(), part, func(acc []float64, _, lo, hi int) {
+				buf := make([]float64, d)
+				for i := lo; i < hi; i++ {
+					opt.Loss.Grad(buf, w, ck.X.Row(i), ck.Y[i])
+					vecmath.Clip(buf, opt.GradBound)
+					vecmath.Axpy(1, buf, acc)
+				}
+			})
+			vecmath.Axpy(1, part, grad)
+			return nil
 		})
+		if err != nil {
+			return nil, fmt.Errorf("core: TalwarDPFW: %w", err)
+		}
 		vecmath.Scale(grad, 1/float64(n))
 		idx := dp.ExponentialLazy(opt.Rng, opt.Domain.NumVertices(), func(i int) float64 {
 			return opt.Domain.VertexScore(i, grad)
@@ -161,11 +218,17 @@ type DPGDOptions struct {
 	Rng         *randx.RNG
 }
 
-// DPGD runs noisy projected gradient descent over the full data each
-// step. Replacing a sample moves the clipped mean gradient by at most
-// 2C/n in ℓ2, so with per-step budget from advanced composition the run
-// is (ε, δ)-DP.
+// DPGD runs the clipping DP-GD baseline on an in-memory dataset; it is
+// DPGDSource over a MemSource.
 func DPGD(ds *data.Dataset, opt DPGDOptions) ([]float64, error) {
+	return DPGDSource(data.NewMemSource(ds), opt)
+}
+
+// DPGDSource runs noisy projected gradient descent over a data source,
+// streaming the full data each step one chunk at a time. Replacing a
+// sample moves the clipped mean gradient by at most 2C/n in ℓ2, so
+// with per-step budget from advanced composition the run is (ε, δ)-DP.
+func DPGDSource(src data.Source, opt DPGDOptions) ([]float64, error) {
 	if opt.Loss == nil || opt.Rng == nil {
 		return nil, errors.New("core: DPGDOptions needs Loss and Rng")
 	}
@@ -184,7 +247,8 @@ func DPGD(ds *data.Dataset, opt DPGDOptions) ([]float64, error) {
 	if opt.LR == 0 {
 		opt.LR = 0.1
 	}
-	n, d := ds.N(), ds.D()
+	n, d := src.N(), src.D()
+	C := data.StreamChunks(n)
 	perIter, err := dp.AdvancedComposition(dp.Params{Eps: opt.Eps, Delta: opt.Delta}, opt.T)
 	if err != nil {
 		return nil, fmt.Errorf("core: DPGD composition: %w", err)
@@ -193,15 +257,24 @@ func DPGD(ds *data.Dataset, opt DPGDOptions) ([]float64, error) {
 
 	w := make([]float64, d)
 	grad := make([]float64, d)
+	part := make([]float64, d)
 	for t := 1; t <= opt.T; t++ {
-		parallel.ReduceVec(opt.Parallelism, n, grad, func(acc []float64, _, lo, hi int) {
-			buf := make([]float64, d)
-			for i := lo; i < hi; i++ {
-				opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
-				vecmath.ClipL2(buf, opt.Clip)
-				vecmath.Axpy(1, buf, acc)
-			}
+		vecmath.Zero(grad)
+		err := data.EachChunk(src, C, func(_ int, ck *data.Dataset) error {
+			parallel.ReduceVec(opt.Parallelism, ck.N(), part, func(acc []float64, _, lo, hi int) {
+				buf := make([]float64, d)
+				for i := lo; i < hi; i++ {
+					opt.Loss.Grad(buf, w, ck.X.Row(i), ck.Y[i])
+					vecmath.ClipL2(buf, opt.Clip)
+					vecmath.Axpy(1, buf, acc)
+				}
+			})
+			vecmath.Axpy(1, part, grad)
+			return nil
 		})
+		if err != nil {
+			return nil, fmt.Errorf("core: DPGD: %w", err)
+		}
 		vecmath.Scale(grad, 1/float64(n))
 		for j := range grad {
 			grad[j] += sigma * opt.Rng.Normal()
@@ -241,6 +314,11 @@ type DPSGDOptions struct {
 // per-step budget so that T-fold advanced composition of the amplified
 // guarantees meets (ε, δ). The search over the per-step budget is a
 // simple doubling/bisection on the amplification equation.
+//
+// DPSGD is the one baseline without a Source variant: uniform
+// subsampling needs random row access, which the chunked Source
+// protocol deliberately does not offer (see DESIGN.md, "Source
+// backends"). Materialize the source first if needed.
 func DPSGD(ds *data.Dataset, opt DPSGDOptions) ([]float64, error) {
 	if opt.Loss == nil || opt.Rng == nil {
 		return nil, errors.New("core: DPSGDOptions needs Loss and Rng")
@@ -338,11 +416,18 @@ type RobustGaussianGDOptions struct {
 	Rng         *randx.RNG
 }
 
-// RobustGaussianGD runs the [57]-style baseline. The robust estimate of
-// one chunk has ℓ2-sensitivity √d·4√2·s/(3m); Gaussian noise at the
+// RobustGaussianGD runs the [57]-style baseline on an in-memory
+// dataset; it is RobustGaussianGDSource over a MemSource.
+func RobustGaussianGD(ds *data.Dataset, opt RobustGaussianGDOptions) ([]float64, error) {
+	return RobustGaussianGDSource(data.NewMemSource(ds), opt)
+}
+
+// RobustGaussianGDSource runs the [57]-style baseline over a data
+// source; iteration t loads only chunk t−1 of T. The robust estimate
+// of one chunk has ℓ2-sensitivity √d·4√2·s/(3m); Gaussian noise at the
 // per-iteration budget (disjoint chunks, so no composition) gives
 // (ε, δ)-DP.
-func RobustGaussianGD(ds *data.Dataset, opt RobustGaussianGDOptions) ([]float64, error) {
+func RobustGaussianGDSource(src data.Source, opt RobustGaussianGDOptions) ([]float64, error) {
 	if opt.Loss == nil || opt.Rng == nil {
 		return nil, errors.New("core: RobustGaussianGDOptions needs Loss and Rng")
 	}
@@ -355,7 +440,7 @@ func RobustGaussianGD(ds *data.Dataset, opt RobustGaussianGDOptions) ([]float64,
 	if opt.T == 0 {
 		opt.T = 20
 	}
-	n, d := ds.N(), ds.D()
+	n, d := src.N(), src.D()
 	if opt.T > n {
 		opt.T = n
 	}
@@ -369,12 +454,14 @@ func RobustGaussianGD(ds *data.Dataset, opt RobustGaussianGDOptions) ([]float64,
 		opt.LR = 0.1
 	}
 	est := robust.MeanEstimator{S: opt.S, Beta: opt.Beta, Parallelism: opt.Parallelism}
-	parts := ds.Split(opt.T)
 
 	w := make([]float64, d)
 	grad := make([]float64, d)
 	for t := 1; t <= opt.T; t++ {
-		part := parts[t-1]
+		part, err := src.Chunk(t-1, opt.T)
+		if err != nil {
+			return nil, fmt.Errorf("core: RobustGaussianGD chunk %d/%d: %w", t-1, opt.T, err)
+		}
 		m := part.N()
 		est.EstimateFunc(grad, m, func(i int, buf []float64) {
 			opt.Loss.Grad(buf, w, part.X.Row(i), part.Y[i])

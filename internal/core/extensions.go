@@ -47,10 +47,19 @@ type SparseMeanOptions struct {
 	Rng         *randx.RNG
 }
 
-// SparseMean privately estimates an s*-sparse mean from the rows of x.
-// The robust coordinate-wise mean has ℓ∞-sensitivity 4√2·K/(3n), so the
-// single Peeling release is (ε, δ)-DP.
+// SparseMean privately estimates an s*-sparse mean from the rows of an
+// in-memory matrix; it is SparseMeanSource over a MemSource.
 func SparseMean(x *vecmath.Mat, opt SparseMeanOptions) ([]float64, error) {
+	ds := &data.Dataset{Label: "sparsemean", X: x, Y: make([]float64, x.Rows)}
+	return SparseMeanSource(data.NewMemSource(ds), opt)
+}
+
+// SparseMeanSource privately estimates an s*-sparse mean of the
+// source's feature rows (labels are ignored), streaming the robust
+// coordinate-wise mean one chunk at a time. The estimate has
+// ℓ∞-sensitivity 4√2·K/(3n), so the single Peeling release is
+// (ε, δ)-DP.
+func SparseMeanSource(src data.Source, opt SparseMeanOptions) ([]float64, error) {
 	if opt.Rng == nil {
 		return nil, errors.New("core: SparseMeanOptions needs Rng")
 	}
@@ -60,7 +69,7 @@ func SparseMean(x *vecmath.Mat, opt SparseMeanOptions) ([]float64, error) {
 	if opt.Delta == 0 {
 		return nil, errors.New("core: SparseMean needs δ > 0")
 	}
-	n, d := x.Rows, x.Cols
+	n, d := src.N(), src.D()
 	if n < 1 {
 		return nil, errors.New("core: empty data")
 	}
@@ -83,17 +92,16 @@ func SparseMean(x *vecmath.Mat, opt SparseMeanOptions) ([]float64, error) {
 		return nil, fmt.Errorf("core: invalid truncation scale K=%v", opt.K)
 	}
 	est := robust.MeanEstimator{S: opt.K, Beta: opt.Beta, Parallelism: opt.Parallelism}
-	mean := est.EstimateVec(make([]float64, d), matRows(x))
-	return PeelingP(opt.Rng, mean, opt.SStar, opt.Eps, opt.Delta, est.Sensitivity(n), opt.Parallelism), nil
-}
-
-// matRows adapts a Mat to the row-slice view EstimateVec shards over.
-func matRows(x *vecmath.Mat) [][]float64 {
-	rows := make([][]float64, x.Rows)
-	for i := range rows {
-		rows[i] = x.Row(i)
+	sm := est.NewStream(d)
+	err := data.EachChunk(src, data.StreamChunks(n), func(_ int, ck *data.Dataset) error {
+		sm.Add(ck.N(), func(i int, buf []float64) { copy(buf, ck.X.Row(i)) })
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: SparseMean: %w", err)
 	}
-	return rows
+	mean := sm.Finish(make([]float64, d))
+	return PeelingP(opt.Rng, mean, opt.SStar, opt.Eps, opt.Delta, est.Sensitivity(n), opt.Parallelism), nil
 }
 
 // RobustRegressionOptions configures the Theorem 3 instance: ε-DP
@@ -116,11 +124,17 @@ type RobustRegressionOptions struct {
 	Trace       Trace
 }
 
-// RobustRegression runs the Theorem 3 robust-regression algorithm:
-// Algorithm 1 on ψ(⟨x, w⟩ − y) with the constant step size. It is ε-DP
-// and achieves excess risk Õ(λmax·log^{1/4}(dn/ζ)/(nε)^{1/4}) under
-// Assumption 2.
+// RobustRegression runs the Theorem 3 robust-regression algorithm on
+// an in-memory dataset; it is RobustRegressionSource over a MemSource.
 func RobustRegression(ds *data.Dataset, opt RobustRegressionOptions) ([]float64, error) {
+	return RobustRegressionSource(data.NewMemSource(ds), opt)
+}
+
+// RobustRegressionSource runs the Theorem 3 robust-regression
+// algorithm over a data source: Algorithm 1 on ψ(⟨x, w⟩ − y) with the
+// constant step size. It is ε-DP and achieves excess risk
+// Õ(λmax·log^{1/4}(dn/ζ)/(nε)^{1/4}) under Assumption 2.
+func RobustRegressionSource(src data.Source, opt RobustRegressionOptions) ([]float64, error) {
 	if opt.Rng == nil {
 		return nil, errors.New("core: RobustRegressionOptions needs Rng")
 	}
@@ -134,23 +148,23 @@ func RobustRegression(ds *data.Dataset, opt RobustRegressionOptions) ([]float64,
 		opt.Tau = 1
 	}
 	if opt.Domain == nil {
-		opt.Domain = polytope.NewL1Ball(ds.D(), 1)
+		opt.Domain = polytope.NewL1Ball(src.D(), 1)
 	}
 	T := opt.T
 	if T == 0 {
-		logTerm := math.Log(float64(ds.D()) / opt.Zeta)
+		logTerm := math.Log(float64(src.D()) / opt.Zeta)
 		if logTerm < 1 {
 			logTerm = 1
 		}
-		T = int(math.Sqrt(float64(ds.N()) * opt.Eps / logTerm))
+		T = int(math.Sqrt(float64(src.N()) * opt.Eps / logTerm))
 	}
 	if T < 1 {
 		T = 1
 	}
-	if T > ds.N() {
-		T = ds.N()
+	if T > src.N() {
+		T = src.N()
 	}
-	return FrankWolfe(ds, FWOptions{
+	return FrankWolfeSource(src, FWOptions{
 		Loss:        loss.Biweight{C: opt.C},
 		Domain:      opt.Domain,
 		Eps:         opt.Eps,
@@ -187,13 +201,22 @@ type FullDataFWOptions struct {
 	Trace       Trace
 }
 
-// FullDataFW runs the full-data heavy-tailed DP-FW. Privacy: each
-// iteration's exponential mechanism touches the whole dataset at budget
-// ε/(2√(2T·log(1/δ))), so the composition is (ε, δ)-DP by Lemma 2. The
-// paper leaves this variant's utility analysis open (the iterate
-// depends on all data, breaking the independence used in the proof of
-// Theorem 2); the abl-split-vs-full experiment measures it instead.
+// FullDataFW runs the full-data heavy-tailed DP-FW on an in-memory
+// dataset; it is FullDataFWSource over a MemSource.
 func FullDataFW(ds *data.Dataset, opt FullDataFWOptions) ([]float64, error) {
+	return FullDataFWSource(data.NewMemSource(ds), opt)
+}
+
+// FullDataFWSource runs the full-data heavy-tailed DP-FW over a data
+// source; each iteration streams the whole source one chunk at a time
+// through a robust.StreamMean accumulator, so at most one chunk is
+// resident. Privacy: each iteration's exponential mechanism touches
+// the whole dataset at budget ε/(2√(2T·log(1/δ))), so the composition
+// is (ε, δ)-DP by Lemma 2. The paper leaves this variant's utility
+// analysis open (the iterate depends on all data, breaking the
+// independence used in the proof of Theorem 2); the abl-split-vs-full
+// experiment measures it instead.
+func FullDataFWSource(src data.Source, opt FullDataFWOptions) ([]float64, error) {
 	if opt.Loss == nil || opt.Domain == nil || opt.Rng == nil {
 		return nil, errors.New("core: FullDataFWOptions needs Loss, Domain and Rng")
 	}
@@ -203,7 +226,7 @@ func FullDataFW(ds *data.Dataset, opt FullDataFWOptions) ([]float64, error) {
 	if opt.Delta == 0 {
 		return nil, errors.New("core: FullDataFW needs δ > 0")
 	}
-	n, d := ds.N(), ds.D()
+	n, d := src.N(), src.D()
 	if n < 1 {
 		return nil, errors.New("core: empty dataset")
 	}
@@ -243,14 +266,24 @@ func FullDataFW(ds *data.Dataset, opt FullDataFWOptions) ([]float64, error) {
 	est := robust.MeanEstimator{S: opt.S, Beta: opt.Beta, Parallelism: opt.Parallelism}
 	epsIter := opt.Eps / (2 * math.Sqrt(2*float64(opt.T)*math.Log(1/opt.Delta)))
 	sens := maxVertexL1(opt.Domain) * est.Sensitivity(n)
+	sm := est.NewStream(d)
+	C := data.StreamChunks(n)
 
 	w := vecmath.Clone(opt.W0)
 	grad := make([]float64, d)
 	vtx := make([]float64, d)
 	for t := 1; t <= opt.T; t++ {
-		est.EstimateFunc(grad, n, func(i int, buf []float64) {
-			opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
+		sm.Reset()
+		err := data.EachChunk(src, C, func(_ int, ck *data.Dataset) error {
+			sm.Add(ck.N(), func(i int, buf []float64) {
+				opt.Loss.Grad(buf, w, ck.X.Row(i), ck.Y[i])
+			})
+			return nil
 		})
+		if err != nil {
+			return nil, fmt.Errorf("core: FullDataFW: %w", err)
+		}
+		sm.Finish(grad)
 		idx := dp.ExponentialLazy(opt.Rng, opt.Domain.NumVertices(), func(i int) float64 {
 			return opt.Domain.VertexScore(i, grad)
 		}, sens, epsIter)

@@ -70,19 +70,18 @@ type FWOptions struct {
 	Trace Trace
 }
 
-func (o *FWOptions) fill(ds *data.Dataset) error {
+func (o *FWOptions) fill(n, d int) error {
 	if o.Loss == nil || o.Domain == nil || o.Rng == nil {
 		return errors.New("core: FWOptions needs Loss, Domain and Rng")
 	}
 	if err := (dp.Params{Eps: o.Eps}).Validate(); err != nil {
 		return err
 	}
-	n := ds.N()
 	if n < 1 {
 		return errors.New("core: empty dataset")
 	}
-	if o.Domain.Dim() != ds.D() {
-		return fmt.Errorf("core: domain dim %d != data dim %d", o.Domain.Dim(), ds.D())
+	if o.Domain.Dim() != d {
+		return fmt.Errorf("core: domain dim %d != data dim %d", o.Domain.Dim(), d)
 	}
 	if o.Beta == 0 {
 		o.Beta = 1
@@ -104,8 +103,7 @@ func (o *FWOptions) fill(ds *data.Dataset) error {
 	}
 	if o.S == 0 {
 		nv := float64(o.Domain.NumVertices())
-		d := float64(ds.D())
-		logTerm := math.Log(nv * d * float64(o.T) / o.Zeta)
+		logTerm := math.Log(nv * float64(d) * float64(o.T) / o.Zeta)
 		if logTerm < 1 {
 			logTerm = 1
 		}
@@ -115,7 +113,7 @@ func (o *FWOptions) fill(ds *data.Dataset) error {
 		return fmt.Errorf("core: invalid robust-estimator parameters s=%v β=%v", o.S, o.Beta)
 	}
 	if o.W0 == nil {
-		o.W0 = make([]float64, ds.D())
+		o.W0 = make([]float64, d)
 	}
 	if !o.Domain.Contains(o.W0, 1e-9) {
 		return errors.New("core: W0 outside the domain")
@@ -123,17 +121,27 @@ func (o *FWOptions) fill(ds *data.Dataset) error {
 	return nil
 }
 
-// FrankWolfe runs Heavy-tailed DP-FW (Algorithm 1) on ds and returns
-// the final iterate w_T. The whole invocation is ε-DP: each iteration
-// applies the exponential mechanism with budget ε to a fresh disjoint
-// chunk of the data, so no composition is paid (Theorem 1).
+// FrankWolfe runs Heavy-tailed DP-FW (Algorithm 1) on an in-memory
+// dataset; it is FrankWolfeSource over a MemSource, so chunks are
+// zero-copy views and results are bit-identical to a streamed run on
+// the same rows.
 func FrankWolfe(ds *data.Dataset, opt FWOptions) ([]float64, error) {
-	if err := opt.fill(ds); err != nil {
+	return FrankWolfeSource(data.NewMemSource(ds), opt)
+}
+
+// FrankWolfeSource runs Heavy-tailed DP-FW (Algorithm 1) over a data
+// source and returns the final iterate w_T. Iteration t touches only
+// chunk t−1 of T — the disjoint-chunk strategy of the paper — so at
+// most one chunk is resident at a time and n may exceed local memory.
+// The whole invocation is ε-DP: each iteration applies the exponential
+// mechanism with budget ε to a fresh disjoint chunk, so no composition
+// is paid (Theorem 1).
+func FrankWolfeSource(src data.Source, opt FWOptions) ([]float64, error) {
+	if err := opt.fill(src.N(), src.D()); err != nil {
 		return nil, err
 	}
-	d := ds.D()
+	d := src.D()
 	est := robust.MeanEstimator{S: opt.S, Beta: opt.Beta, Parallelism: opt.Parallelism}
-	parts := ds.Split(opt.T)
 
 	w := vecmath.Clone(opt.W0)
 	grad := make([]float64, d)
@@ -143,7 +151,10 @@ func FrankWolfe(ds *data.Dataset, opt FWOptions) ([]float64, error) {
 		avg = make([]float64, d)
 	}
 	for t := 1; t <= opt.T; t++ {
-		part := parts[t-1]
+		part, err := src.Chunk(t-1, opt.T)
+		if err != nil {
+			return nil, fmt.Errorf("core: FrankWolfe chunk %d/%d: %w", t-1, opt.T, err)
+		}
 		m := part.N()
 		// Step 4–5: robust coordinate-wise gradient estimate g̃(w, D_t).
 		est.EstimateFunc(grad, m, func(i int, buf []float64) {

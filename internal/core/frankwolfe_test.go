@@ -113,7 +113,7 @@ func TestFrankWolfeDefaults(t *testing.T) {
 	opt := FWOptions{
 		Loss: loss.Squared{}, Domain: polytope.NewL1Ball(5, 1), Eps: 1, Rng: randx.New(9),
 	}
-	if err := opt.fill(ds); err != nil {
+	if err := opt.fill(ds.N(), ds.D()); err != nil {
 		t.Fatal(err)
 	}
 	wantT := int(math.Cbrt(1000))

@@ -37,7 +37,7 @@ type LassoOptions struct {
 	Trace Trace
 }
 
-func (o *LassoOptions) fill(ds *data.Dataset) error {
+func (o *LassoOptions) fill(n, d int) error {
 	if o.Rng == nil {
 		return errors.New("core: LassoOptions needs Rng")
 	}
@@ -47,15 +47,14 @@ func (o *LassoOptions) fill(ds *data.Dataset) error {
 	if o.Delta == 0 {
 		return errors.New("core: Algorithm 2 is (ε,δ)-DP and needs δ > 0")
 	}
-	n := ds.N()
 	if n < 1 {
 		return errors.New("core: empty dataset")
 	}
 	if o.Domain.Dims == 0 {
-		o.Domain = polytope.NewL1Ball(ds.D(), 1)
+		o.Domain = polytope.NewL1Ball(d, 1)
 	}
-	if o.Domain.Dim() != ds.D() {
-		return fmt.Errorf("core: domain dim %d != data dim %d", o.Domain.Dim(), ds.D())
+	if o.Domain.Dim() != d {
+		return fmt.Errorf("core: domain dim %d != data dim %d", o.Domain.Dim(), d)
 	}
 	ne := float64(n) * o.Eps
 	if o.T == 0 {
@@ -71,7 +70,7 @@ func (o *LassoOptions) fill(ds *data.Dataset) error {
 		return fmt.Errorf("core: invalid shrinkage threshold K=%v", o.K)
 	}
 	if o.W0 == nil {
-		o.W0 = make([]float64, ds.D())
+		o.W0 = make([]float64, d)
 	}
 	if !o.Domain.Contains(o.W0, 1e-9) {
 		return errors.New("core: W0 outside the domain")
@@ -79,34 +78,62 @@ func (o *LassoOptions) fill(ds *data.Dataset) error {
 	return nil
 }
 
-// Lasso runs Heavy-tailed Private LASSO (Algorithm 2) on ds with the
-// squared loss and returns w_T. Privacy (Theorem 4): each iteration's
-// exponential mechanism runs at budget ε/(2√(2T·log(1/δ))) on the full
-// shrunken data, whose score sensitivity is 8‖W‖₁K²/n; advanced
-// composition over T rounds yields (ε, δ)-DP.
+// Lasso runs Heavy-tailed Private LASSO (Algorithm 2) on an in-memory
+// dataset; it is LassoSource over a MemSource, so results are
+// bit-identical to a streamed run on the same rows.
 func Lasso(ds *data.Dataset, opt LassoOptions) ([]float64, error) {
-	if err := opt.fill(ds); err != nil {
+	return LassoSource(data.NewMemSource(ds), opt)
+}
+
+// LassoSource runs Heavy-tailed Private LASSO (Algorithm 2) over a
+// data source and returns w_T. The algorithm needs the full shrunken
+// data every iteration, so each round streams the source in
+// data.StreamChunks(n) chunks — shrinkage is applied per chunk on load
+// (entry-wise, so chunked equals whole-matrix shrinkage bit for bit)
+// and at most one chunk is resident. Privacy (Theorem 4): each
+// iteration's exponential mechanism runs at budget
+// ε/(2√(2T·log(1/δ))) on the full shrunken data, whose score
+// sensitivity is 8‖W‖₁K²/n; advanced composition over T rounds yields
+// (ε, δ)-DP.
+func LassoSource(src data.Source, opt LassoOptions) ([]float64, error) {
+	if err := opt.fill(src.N(), src.D()); err != nil {
 		return nil, err
 	}
-	n, d := ds.N(), ds.D()
-	// Step 2: entry-wise shrinkage of features and labels at K.
-	sh := ds.Shrink(opt.K)
+	n, d := src.N(), src.D()
+	// Step 2: entry-wise shrinkage of features and labels at K, applied
+	// lazily to every chunk.
+	sh := data.ShrinkSource(src, opt.K)
+	C := data.StreamChunks(n)
 	epsIter := opt.Eps / (2 * math.Sqrt(2*float64(opt.T)*math.Log(1/opt.Delta)))
 	sens := 8 * maxVertexL1(opt.Domain) * opt.K * opt.K / float64(n)
 
 	w := vecmath.Clone(opt.W0)
 	grad := make([]float64, d)
-	resid := make([]float64, n)
+	part := make([]float64, d)
+	resid := make([]float64, data.MaxChunkRows(n, C))
 	vtx := make([]float64, d)
 	for t := 1; t <= opt.T; t++ {
 		// Step 4: g̃(w, D̃) = (2/n)·Σ x̃ᵢ(⟨x̃ᵢ, w⟩ − ỹᵢ), the exact
 		// empirical gradient of the squared loss on the shrunken data,
-		// computed as the blocked pair r = X̃w − ỹ, g̃ = (2/n)·X̃ᵀr.
-		sh.X.MatVecP(resid, w, opt.Parallelism)
-		for i := range resid {
-			resid[i] -= sh.Y[i]
+		// accumulated chunk by chunk as the blocked pair r = X̃w − ỹ,
+		// g̃ += X̃ᵀr. Chunk order and the per-chunk shard structure are
+		// functions of n alone, so the gradient is bit-identical for
+		// every worker count and every backend.
+		vecmath.Zero(grad)
+		err := data.EachChunk(sh, C, func(_ int, ck *data.Dataset) error {
+			m := ck.N()
+			r := resid[:m]
+			ck.X.MatVecP(r, w, opt.Parallelism)
+			for i := 0; i < m; i++ {
+				r[i] -= ck.Y[i]
+			}
+			ck.X.MatTVecP(part, r, opt.Parallelism)
+			vecmath.Axpy(1, part, grad)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: Lasso: %w", err)
 		}
-		sh.X.MatTVecP(grad, resid, opt.Parallelism)
 		vecmath.Scale(grad, 2/float64(n))
 		idx := dp.ExponentialLazy(opt.Rng, opt.Domain.NumVertices(), func(i int) float64 {
 			return opt.Domain.VertexScore(i, grad)

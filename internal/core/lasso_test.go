@@ -31,7 +31,7 @@ func TestLassoValidation(t *testing.T) {
 func TestLassoDefaults(t *testing.T) {
 	ds := linearL1Workload(3, 1000, 5)
 	opt := LassoOptions{Eps: 1, Delta: 1e-5, Rng: randx.New(4)}
-	if err := opt.fill(ds); err != nil {
+	if err := opt.fill(ds.N(), ds.D()); err != nil {
 		t.Fatal(err)
 	}
 	ne := 1000.0

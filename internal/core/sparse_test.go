@@ -107,7 +107,7 @@ func TestSparseLinRegRecovers(t *testing.T) {
 func TestSparseLinRegDefaults(t *testing.T) {
 	ds := sparseWorkload(7, 1000, 30, 4, nil)
 	opt := SparseLinRegOptions{Eps: 1, Delta: 1e-5, SStar: 4, Rng: randx.New(8)}
-	if err := opt.fill(ds); err != nil {
+	if err := opt.fill(ds.N(), ds.D()); err != nil {
 		t.Fatal(err)
 	}
 	if opt.S != 8 {

@@ -42,7 +42,7 @@ type SparseLinRegOptions struct {
 	Trace Trace
 }
 
-func (o *SparseLinRegOptions) fill(ds *data.Dataset) error {
+func (o *SparseLinRegOptions) fill(n, d int) error {
 	if o.Rng == nil {
 		return errors.New("core: SparseLinRegOptions needs Rng")
 	}
@@ -52,7 +52,6 @@ func (o *SparseLinRegOptions) fill(ds *data.Dataset) error {
 	if o.Delta == 0 {
 		return errors.New("core: Algorithm 3 is (ε,δ)-DP and needs δ > 0")
 	}
-	n, d := ds.N(), ds.D()
 	if n < 1 {
 		return errors.New("core: empty dataset")
 	}
@@ -93,23 +92,38 @@ func (o *SparseLinRegOptions) fill(ds *data.Dataset) error {
 }
 
 // SparseLinReg runs Heavy-tailed Private Sparse Linear Regression
-// (Algorithm 3) and returns w_{T+1}. Privacy (Theorem 6): each
-// iteration touches a disjoint chunk and the Peeling call is calibrated
-// to the ℓ∞-sensitivity 2K²η₀(√s+1)/m of the gradient step, so the
-// whole run is (ε, δ)-DP.
+// (Algorithm 3) on an in-memory dataset; it is SparseLinRegSource over
+// a MemSource, so results are bit-identical to a streamed run on the
+// same rows.
 func SparseLinReg(ds *data.Dataset, opt SparseLinRegOptions) ([]float64, error) {
-	if err := opt.fill(ds); err != nil {
+	return SparseLinRegSource(data.NewMemSource(ds), opt)
+}
+
+// SparseLinRegSource runs Heavy-tailed Private Sparse Linear Regression
+// (Algorithm 3) over a data source and returns w_{T+1}. Iteration t
+// loads only chunk t−1 of T, shrunken on load (entry-wise, so per-chunk
+// shrinkage equals the listing's whole-data shrinkage bit for bit), so
+// at most one chunk is resident. Privacy (Theorem 6): each iteration
+// touches a disjoint chunk and the Peeling call is calibrated to the
+// ℓ∞-sensitivity 2K²η₀(√s+1)/m of the gradient step, so the whole run
+// is (ε, δ)-DP.
+func SparseLinRegSource(src data.Source, opt SparseLinRegOptions) ([]float64, error) {
+	if err := opt.fill(src.N(), src.D()); err != nil {
 		return nil, err
 	}
-	d := ds.D()
-	// Step 2: shrink, then step 3: split into T disjoint chunks.
-	parts := ds.Shrink(opt.K).Split(opt.T)
+	d := src.D()
+	// Step 2: shrink (lazily, per chunk), then step 3: consume T
+	// disjoint chunks.
+	sh := data.ShrinkSource(src, opt.K)
 
 	w := vecmath.Clone(opt.W0)
 	grad := make([]float64, d)
-	resid := make([]float64, ds.N())
+	resid := make([]float64, data.MaxChunkRows(src.N(), opt.T))
 	for t := 1; t <= opt.T; t++ {
-		part := parts[t-1]
+		part, err := sh.Chunk(t-1, opt.T)
+		if err != nil {
+			return nil, fmt.Errorf("core: SparseLinReg chunk %d/%d: %w", t-1, opt.T, err)
+		}
 		m := part.N()
 		// Step 5: w_{t+0.5} = w_t − (η₀/m)·Σ x̃(⟨x̃, w_t⟩ − ỹ),
 		// via the blocked pair r = X̃w − ỹ, grad = X̃ᵀr.

@@ -54,7 +54,7 @@ type SparseOptOptions struct {
 	Trace Trace
 }
 
-func (o *SparseOptOptions) fill(ds *data.Dataset) error {
+func (o *SparseOptOptions) fill(n, d int) error {
 	if o.Loss == nil || o.Rng == nil {
 		return errors.New("core: SparseOptOptions needs Loss and Rng")
 	}
@@ -64,7 +64,6 @@ func (o *SparseOptOptions) fill(ds *data.Dataset) error {
 	if o.Delta == 0 {
 		return errors.New("core: Algorithm 5 is (ε,δ)-DP and needs δ > 0")
 	}
-	n, d := ds.N(), ds.D()
 	if n < 1 {
 		return errors.New("core: empty dataset")
 	}
@@ -118,22 +117,32 @@ func (o *SparseOptOptions) fill(ds *data.Dataset) error {
 }
 
 // SparseOpt runs Heavy-tailed Private Sparse Optimization (Algorithm 5)
-// and returns w_{T+1}. Privacy (Theorem 8): the gradient step's
-// ℓ∞-sensitivity is η·4√2·k/(3m) — the robust estimator's sensitivity
-// scaled by the step size — and Peeling on disjoint chunks makes the
-// whole run (ε, δ)-DP.
+// on an in-memory dataset; it is SparseOptSource over a MemSource, so
+// results are bit-identical to a streamed run on the same rows.
 func SparseOpt(ds *data.Dataset, opt SparseOptOptions) ([]float64, error) {
-	if err := opt.fill(ds); err != nil {
+	return SparseOptSource(data.NewMemSource(ds), opt)
+}
+
+// SparseOptSource runs Heavy-tailed Private Sparse Optimization
+// (Algorithm 5) over a data source and returns w_{T+1}. Iteration t
+// loads only chunk t−1 of T, so at most one chunk is resident. Privacy
+// (Theorem 8): the gradient step's ℓ∞-sensitivity is η·4√2·k/(3m) —
+// the robust estimator's sensitivity scaled by the step size — and
+// Peeling on disjoint chunks makes the whole run (ε, δ)-DP.
+func SparseOptSource(src data.Source, opt SparseOptOptions) ([]float64, error) {
+	if err := opt.fill(src.N(), src.D()); err != nil {
 		return nil, err
 	}
-	d := ds.D()
+	d := src.D()
 	est := robust.MeanEstimator{S: opt.K, Beta: opt.Beta, Parallelism: opt.Parallelism}
-	parts := ds.Split(opt.T)
 
 	w := vecmath.Clone(opt.W0)
 	grad := make([]float64, d)
 	for t := 1; t <= opt.T; t++ {
-		part := parts[t-1]
+		part, err := src.Chunk(t-1, opt.T)
+		if err != nil {
+			return nil, fmt.Errorf("core: SparseOpt chunk %d/%d: %w", t-1, opt.T, err)
+		}
 		m := part.N()
 		// Step 4–5: robust coordinate-wise gradient g̃(w, D_t).
 		est.EstimateFunc(grad, m, func(i int, buf []float64) {

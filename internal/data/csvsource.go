@@ -1,0 +1,198 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"htdp/internal/vecmath"
+)
+
+// CSVSource streams chunks of a numeric CSV file from disk, so n can
+// exceed local memory: opening the file scans it once to index the byte
+// offset of every row (8 bytes per row — 0.8 MB for 100k rows, versus
+// 320 MB for a materialized 100k×400 matrix), and Chunk(t, T) seeks to
+// the chunk's first row and parses exactly the rows [t·n/T, (t+1)·n/T).
+// A one-slot cache keeps the most recently parsed chunk, so repeated
+// requests for the same (t, T) — the pattern of a training pass
+// followed by an evaluation pass over few chunks — cost no extra I/O
+// while peak residency stays bounded by a single chunk.
+//
+// Parsing matches ReadCSV exactly (strconv.ParseFloat on every field),
+// and WriteCSV emits shortest round-trip decimal, so a dataset written
+// with WriteCSV and streamed back yields bit-identical chunk contents
+// to MemSource over the original — the property TestSourceEquivalence
+// locks in.
+type CSVSource struct {
+	f        *os.File
+	path     string
+	label    string
+	labelCol int
+	n, d     int
+	// offsets[i] is the byte offset of data row i; offsets[n] is the
+	// offset one past the last row. Immutable after open; Reopen shares
+	// it.
+	offsets []int64
+
+	cached           *Dataset
+	cachedT, cacheOf int
+}
+
+// OpenCSV opens a numeric CSV file as a streaming Source. labelCol
+// selects the label column (negative counts from the end: −1 is the
+// last column); all remaining columns become features, in order.
+// hasHeader skips the first row. The scan validates the shape (every
+// row the same width ≥ 2) but defers numeric parsing to Chunk, which
+// rejects bad fields with a row-numbered error.
+func OpenCSV(path, label string, labelCol int, hasHeader bool) (*CSVSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: opening CSV: %w", err)
+	}
+	src, err := indexCSV(f, label, labelCol, hasHeader)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	src.path = path
+	return src, nil
+}
+
+// Reopen returns an independent CSVSource over the same file, sharing
+// the already-built row-offset index — no rescan. The receiver may be
+// shared across goroutines for Reopen calls (the index is immutable),
+// but each returned source is single-goroutine like any other. Sweeps
+// that open one source per trial index the file once this way.
+func (s *CSVSource) Reopen() (*CSVSource, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("data: reopening CSV: %w", err)
+	}
+	return &CSVSource{
+		f: f, path: s.path, label: s.label, labelCol: s.labelCol,
+		n: s.n, d: s.d, offsets: s.offsets,
+		cachedT: -1,
+	}, nil
+}
+
+// indexCSV scans f once, recording row offsets and validating shape.
+func indexCSV(f *os.File, label string, labelCol int, hasHeader bool) (*CSVSource, error) {
+	cr := csv.NewReader(f)
+	cr.ReuseRecord = true
+	if hasHeader {
+		if _, err := cr.Read(); err != nil {
+			return nil, fmt.Errorf("data: reading CSV header: %w", err)
+		}
+	}
+	var offsets []int64
+	width := -1
+	for {
+		off := cr.InputOffset()
+		rec, err := cr.Read()
+		if err == io.EOF {
+			offsets = append(offsets, off)
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: scanning CSV row %d: %w", len(offsets), err)
+		}
+		if width == -1 {
+			width = len(rec)
+			if width < 2 {
+				return nil, fmt.Errorf("data: CSV needs ≥2 columns, got %d", width)
+			}
+			lc := labelCol
+			if lc < 0 {
+				lc = width + lc
+			}
+			if lc < 0 || lc >= width {
+				return nil, fmt.Errorf("data: label column %d outside row of width %d", labelCol, width)
+			}
+		} else if len(rec) != width {
+			return nil, fmt.Errorf("data: CSV row %d has %d fields, want %d", len(offsets), len(rec), width)
+		}
+		offsets = append(offsets, off)
+	}
+	n := len(offsets) - 1
+	if n < 1 {
+		return nil, fmt.Errorf("data: empty CSV")
+	}
+	return &CSVSource{
+		f: f, label: label, labelCol: labelCol,
+		n: n, d: width - 1, offsets: offsets,
+		cachedT: -1,
+	}, nil
+}
+
+// N returns the number of data rows.
+func (s *CSVSource) N() int { return s.n }
+
+// D returns the feature dimension (columns minus the label column).
+func (s *CSVSource) D() int { return s.d }
+
+// Chunk seeks to row t·n/T and parses the chunk's rows into a fresh
+// Dataset (or returns the cached one when (t, T) repeats). Only this
+// one chunk is resident; the previous chunk becomes garbage.
+func (s *CSVSource) Chunk(t, T int) (*Dataset, error) {
+	if err := checkChunk(t, T, s.n); err != nil {
+		return nil, err
+	}
+	if s.cached != nil && s.cachedT == t && s.cacheOf == T {
+		return s.cached, nil
+	}
+	lo, hi := ChunkBounds(t, T, s.n)
+	if _, err := s.f.Seek(s.offsets[lo], io.SeekStart); err != nil {
+		return nil, fmt.Errorf("data: seeking CSV row %d: %w", lo, err)
+	}
+	cr := csv.NewReader(io.LimitReader(s.f, s.offsets[hi]-s.offsets[lo]))
+	cr.ReuseRecord = true
+	x := vecmath.NewMat(hi-lo, s.d)
+	y := make([]float64, hi-lo)
+	for i := 0; i < hi-lo; i++ {
+		rec, err := cr.Read()
+		if err != nil {
+			return nil, fmt.Errorf("data: reading CSV row %d: %w", lo+i, err)
+		}
+		if err := parseNumericRow(rec, s.labelCol, x.Row(i), &y[i]); err != nil {
+			return nil, fmt.Errorf("data: CSV row %d %w", lo+i, err)
+		}
+	}
+	ck := &Dataset{Label: s.label, X: x, Y: y}
+	s.cached, s.cachedT, s.cacheOf = ck, t, T
+	return ck, nil
+}
+
+// Close closes the underlying file and drops the cached chunk.
+func (s *CSVSource) Close() error {
+	s.cached = nil
+	return s.f.Close()
+}
+
+// parseNumericRow parses one CSV record into a feature row and a label,
+// exactly as ReadCSV does field by field.
+func parseNumericRow(rec []string, labelCol int, feat []float64, y *float64) error {
+	width := len(rec)
+	lc := labelCol
+	if lc < 0 {
+		lc = width + lc
+	}
+	if lc < 0 || lc >= width {
+		return fmt.Errorf("label column %d outside row of width %d", labelCol, width)
+	}
+	k := 0
+	for j, f := range rec {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return fmt.Errorf("col %d: %w", j, err)
+		}
+		if j == lc {
+			*y = v
+		} else {
+			feat[k] = v
+			k++
+		}
+	}
+	return nil
+}

@@ -115,8 +115,8 @@ func colScaleMeans(colScale []float64, heavy []bool) []float64 {
 }
 
 // Kurtosis returns the empirical excess kurtosis of column j — the
-// diagnostic the EXPERIMENTS.md uses to demonstrate the simulated data
-// are genuinely heavy-tailed (Gaussian ⇒ 0).
+// diagnostic DESIGN.md's "Substitutions" section uses to demonstrate
+// the simulated data are genuinely heavy-tailed (Gaussian ⇒ 0).
 func Kurtosis(d *Dataset, j int) float64 {
 	n := d.N()
 	var m float64

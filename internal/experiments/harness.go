@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"htdp/internal/data"
 	"htdp/internal/parallel"
 	"htdp/internal/randx"
 	"htdp/internal/vecmath"
@@ -38,6 +39,14 @@ type Config struct {
 	// wall-clock only, never results. Algorithms inside a trial use
 	// their own Parallelism knob (default: all cores).
 	Parallelism int
+	// Source, when non-nil, supplies the source-streaming experiments
+	// ("streaming") with an out-of-core data source in place of their
+	// default on-demand generator; cmd/htdp's -stream flag wires a CSV
+	// file here. The factory is called once per trial with that trial's
+	// deterministic seed and the returned source is closed when the
+	// trial ends. Experiments that materialize data in memory ignore
+	// it.
+	Source func(seed int64) (data.Source, error)
 }
 
 func (c Config) withDefaults() Config {

@@ -13,12 +13,13 @@ import (
 var tiny = Config{Reps: 2, Scale: 0.01, Seed: 7}
 
 func TestRegistryComplete(t *testing.T) {
-	// All 11 figures plus the lower-bound check and the four ablations.
+	// All 11 figures plus the lower-bound check, the ablations, and the
+	// streaming-source sweep.
 	want := []string{
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "lowerbound",
 		"abl-estimators", "abl-alg1-vs-alg2", "abl-shrink-k", "abl-selection",
-		"abl-split-vs-full",
+		"abl-split-vs-full", "streaming",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"htdp/internal/data"
+	"htdp/internal/randx"
+)
+
+func TestStreamingTiny(t *testing.T) {
+	spec, _ := Lookup("streaming")
+	panels := spec.Run(tiny)
+	checkPanels(t, "streaming", panels, 1)
+	if len(panels[0].Series) != 2 {
+		t.Fatalf("series = %d, want dpfw-stream and lasso-stream", len(panels[0].Series))
+	}
+}
+
+// TestStreamingConfigSource: a user-supplied factory (the -stream CSV
+// path) must replace the default generator, feed every trial, and have
+// its sources closed.
+func TestStreamingConfigSource(t *testing.T) {
+	opened, closed := 0, 0
+	cfg := tiny
+	cfg.Parallelism = 1 // sequential trials: the counters are unsynchronized
+	cfg.Source = func(seed int64) (data.Source, error) {
+		opened++
+		gen := data.LinearSource(seed, data.LinearOpt{
+			N: 300, D: 10,
+			Feature: randx.LogNormal{Mu: 0, Sigma: 0.8},
+			Noise:   randx.Normal{Mu: 0, Sigma: 0.3},
+		})
+		return &closeCounter{Source: gen, closed: &closed}, nil
+	}
+	spec, _ := Lookup("streaming")
+	panels := spec.Run(cfg)
+	checkPanels(t, "streaming", panels, 1)
+	// 2 series × |epsGrid| points × Reps trials.
+	want := 2 * len(epsGrid) * cfg.Reps
+	if opened != want {
+		t.Fatalf("factory called %d times, want %d", opened, want)
+	}
+	if closed != opened {
+		t.Fatalf("closed %d of %d sources", closed, opened)
+	}
+	for _, s := range panels[0].Series {
+		for i, m := range s.Mean {
+			if math.IsNaN(m) || math.IsInf(m, 0) {
+				t.Fatalf("%s[%d] non-finite", s.Name, i)
+			}
+		}
+	}
+}
+
+type closeCounter struct {
+	data.Source
+	closed *int
+}
+
+func (c *closeCounter) Close() error {
+	*c.closed++
+	return c.Source.Close()
+}

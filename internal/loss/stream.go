@@ -1,0 +1,88 @@
+package loss
+
+import (
+	"fmt"
+
+	"htdp/internal/data"
+	"htdp/internal/parallel"
+	"htdp/internal/vecmath"
+)
+
+// The streaming evaluators walk a data.Source in StreamChunks(n) chunks
+// so risk and gradients can be computed over data that never fits in
+// memory at once. Within a chunk the samples are sharded exactly like
+// EmpiricalP/FullGradientP; chunks merge in chunk order. Both orders
+// are functions of n alone, so the value is bit-identical for every
+// worker count and every backend serving the same rows — but it is a
+// different (fixed) summation order than the matrix-resident Empirical/
+// FullGradient, which keep their historical full-range order.
+
+// EmpiricalSource returns the empirical risk (1/n)·Σᵢ ℓ(w, (xᵢ, yᵢ))
+// over the source, streaming one chunk at a time. workers resolves as
+// everywhere (0 → GOMAXPROCS, 1 → sequential).
+func EmpiricalSource(l Loss, w []float64, src data.Source, workers int) (float64, error) {
+	n := src.N()
+	if n < 1 {
+		return 0, nil
+	}
+	var sum float64
+	err := data.EachChunk(src, data.StreamChunks(n), func(_ int, ck *data.Dataset) error {
+		sum += parallel.ReduceFloat(workers, ck.N(), func(_, lo, hi int) float64 {
+			var p float64
+			for i := lo; i < hi; i++ {
+				p += l.Value(w, ck.X.Row(i), ck.Y[i])
+			}
+			return p
+		})
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("loss: EmpiricalSource: %w", err)
+	}
+	return sum / float64(n), nil
+}
+
+// ExcessRiskSource returns EmpiricalSource(w) − EmpiricalSource(ref),
+// the §6 measurement, in two streaming passes.
+func ExcessRiskSource(l Loss, w, ref []float64, src data.Source, workers int) (float64, error) {
+	rw, err := EmpiricalSource(l, w, src, workers)
+	if err != nil {
+		return 0, err
+	}
+	rr, err := EmpiricalSource(l, ref, src, workers)
+	if err != nil {
+		return 0, err
+	}
+	return rw - rr, nil
+}
+
+// FullGradientSource writes the empirical-risk gradient
+// (1/n)·Σᵢ ∇ℓ(w, (xᵢ, yᵢ)) over the source into dst (allocated when
+// nil) and returns it, streaming one chunk at a time.
+func FullGradientSource(l Loss, dst, w []float64, src data.Source, workers int) ([]float64, error) {
+	if dst == nil {
+		dst = make([]float64, src.D())
+	}
+	vecmath.Zero(dst)
+	n := src.N()
+	if n < 1 {
+		return dst, nil
+	}
+	part := make([]float64, len(dst))
+	err := data.EachChunk(src, data.StreamChunks(n), func(_ int, ck *data.Dataset) error {
+		parallel.ReduceVec(workers, ck.N(), part, func(acc []float64, _, lo, hi int) {
+			buf := make([]float64, len(acc))
+			for i := lo; i < hi; i++ {
+				l.Grad(buf, w, ck.X.Row(i), ck.Y[i])
+				vecmath.Axpy(1, buf, acc)
+			}
+		})
+		vecmath.Axpy(1, part, dst)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loss: FullGradientSource: %w", err)
+	}
+	vecmath.Scale(dst, 1/float64(n))
+	return dst, nil
+}

@@ -1,0 +1,88 @@
+package loss
+
+import (
+	"math"
+	"testing"
+
+	"htdp/internal/data"
+	"htdp/internal/randx"
+)
+
+func streamTestSource(n, d int) (*data.GenSource, *data.Dataset) {
+	gen := data.LinearSource(21, data.LinearOpt{
+		N: n, D: d,
+		Feature: randx.LogNormal{Mu: 0, Sigma: 1},
+		Noise:   randx.Normal{Mu: 0, Sigma: 0.3},
+	})
+	return gen, gen.Materialize()
+}
+
+// TestEmpiricalSourceMatchesDense: the streamed risk must agree with
+// the dense evaluator up to roundoff (the summation orders differ) and
+// be bit-identical across backends and worker counts.
+func TestEmpiricalSourceMatchesDense(t *testing.T) {
+	gen, full := streamTestSource(700, 9)
+	w := make([]float64, 9)
+	for j := range w {
+		w[j] = 0.1 * float64(j)
+	}
+	dense := Empirical(Squared{}, w, full.X, full.Y)
+	ref, err := EmpiricalSource(Squared{}, w, data.NewMemSource(full), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ref-dense) > 1e-9*(1+math.Abs(dense)) {
+		t.Fatalf("streamed %v vs dense %v", ref, dense)
+	}
+	for _, workers := range []int{1, 3, 0} {
+		for name, src := range map[string]data.Source{"mem": data.NewMemSource(full), "gen": gen} {
+			got, err := EmpiricalSource(Squared{}, w, src, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Fatalf("%s workers=%d: %v, want bit-identical %v", name, workers, got, ref)
+			}
+		}
+	}
+}
+
+func TestFullGradientSourceMatchesDense(t *testing.T) {
+	gen, full := streamTestSource(650, 7)
+	w := make([]float64, 7)
+	w[2] = 0.5
+	dense := FullGradient(Squared{}, nil, w, full.X, full.Y)
+	ref, err := FullGradientSource(Squared{}, nil, w, data.NewMemSource(full), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range dense {
+		if math.Abs(ref[j]-dense[j]) > 1e-9*(1+math.Abs(dense[j])) {
+			t.Fatalf("coord %d: streamed %v vs dense %v", j, ref[j], dense[j])
+		}
+	}
+	for _, workers := range []int{1, 4, 0} {
+		got, err := FullGradientSource(Squared{}, nil, w, gen, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("gen workers=%d coord %d: %v, want bit-identical %v", workers, j, got[j], ref[j])
+			}
+		}
+	}
+}
+
+func TestExcessRiskSource(t *testing.T) {
+	_, full := streamTestSource(300, 5)
+	src := data.NewMemSource(full)
+	zero := make([]float64, 5)
+	got, err := ExcessRiskSource(Squared{}, full.WStar, zero, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= 0 {
+		t.Fatalf("w* should beat the zero vector on its own data, got excess %v", got)
+	}
+}

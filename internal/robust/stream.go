@@ -1,0 +1,78 @@
+package robust
+
+import "htdp/internal/parallel"
+
+// StreamMean accumulates the coordinate-wise robust mean estimator
+// ˆx(s, β) over sample blocks delivered sequentially, so the estimate
+// can be computed over data that never fits in memory at once — the
+// out-of-core counterpart of MeanEstimator.EstimateFunc used by the
+// full-data streaming passes (see DESIGN.md, "Source backends").
+//
+// Within a block the samples are sharded exactly like EstimateFunc and
+// partials merge in shard order; blocks merge in arrival order. Both
+// orders are fixed by the block sizes alone, so the result is
+// bit-identical for every worker count and every source backend that
+// delivers the same blocks — but it is a different (fixed) summation
+// order than one EstimateFunc call over the concatenated samples.
+type StreamMean struct {
+	est   MeanEstimator
+	sums  []float64
+	block []float64
+	n     int
+}
+
+// NewStream returns a d-dimensional streaming accumulator for the
+// estimator (workers come from e.Parallelism, resolved per block).
+func (e MeanEstimator) NewStream(d int) *StreamMean {
+	return &StreamMean{est: e, sums: make([]float64, d), block: make([]float64, d)}
+}
+
+// Reset clears the accumulator for reuse (e.g. the next iteration's
+// gradient).
+func (s *StreamMean) Reset() {
+	for j := range s.sums {
+		s.sums[j] = 0
+	}
+	s.n = 0
+}
+
+// Add accumulates one block of m samples; grad is called once per
+// sample index in [0, m) with a scratch buffer to fill, concurrently
+// across block shards (it must not write shared state beyond buf).
+func (s *StreamMean) Add(m int, grad func(i int, buf []float64)) {
+	if m < 1 {
+		return
+	}
+	parallel.ReduceVec(s.est.Parallelism, m, s.block, func(acc []float64, _, lo, hi int) {
+		buf := make([]float64, len(acc))
+		for i := lo; i < hi; i++ {
+			grad(i, buf)
+			for j, x := range buf {
+				acc[j] += s.est.Term(x)
+			}
+		}
+	})
+	for j, v := range s.block {
+		s.sums[j] += v
+	}
+	s.n += m
+}
+
+// Count returns the number of samples added since the last Reset.
+func (s *StreamMean) Count() int { return s.n }
+
+// Finish writes the estimate (1/n)·Σ Term into dst (allocated when
+// nil) and returns it; zero samples yield the zero vector.
+func (s *StreamMean) Finish(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(s.sums))
+	}
+	var inv float64
+	if s.n > 0 {
+		inv = 1 / float64(s.n)
+	}
+	for j := range dst {
+		dst[j] = s.sums[j] * inv
+	}
+	return dst
+}
