@@ -128,6 +128,50 @@ func BenchmarkCatoni(b *testing.B) {
 	}
 }
 
+// BenchmarkCatoniFused measures the fused margin kernel on the
+// workload of BenchmarkCatoniFunc — margins via the blocked X·w
+// product, per-sample gradient scales, column-blocked truncation with
+// a warm workspace — the steady-state gradient iteration of
+// Algorithms 1 and 5 after this PR. Compare against BenchmarkCatoniFunc
+// (the row-at-a-time shape) to see the fusion win; allocs/op is 0 at
+// workers=1.
+func BenchmarkCatoniFused(b *testing.B) {
+	const m, d = 1000, 2000
+	r := randx.New(2)
+	x := htdp.NewMat(m, d)
+	for i := range x.Data {
+		x.Data[i] = r.Normal() * 3
+	}
+	y := r.NormalVec(make([]float64, m), 1)
+	w := make([]float64, d)
+	for j := 0; j < d; j++ {
+		w[j] = 1 / float64(d)
+	}
+	l := htdp.SquaredLoss{}
+	dst := make([]float64, d)
+	for _, workers := range workerLevels() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := htdp.MeanEstimator{S: 20, Beta: 1, Parallelism: workers}
+			ws := htdp.NewRobustWorkspace()
+			run := func() {
+				margins := ws.Margins(m)
+				ws.Mat.MatVec(margins, x, w, workers)
+				scales := ws.Scales(m)
+				for i := range scales {
+					scales[i] = l.GradScale(margins[i], y[i])
+				}
+				e.EstimateChunk(dst, x, scales, 0, nil, ws)
+			}
+			run() // warm the workspace
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		})
+	}
+}
+
 // BenchmarkCatoniFunc measures the buffer-filling variant
 // (EstimateFunc) on the same shape — the path the optimization loops
 // use, where per-sample gradients are recomputed inside each shard.

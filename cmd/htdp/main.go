@@ -14,6 +14,12 @@
 //	htdp -stream big.csv -algo fw -eps 1      # out-of-core DP-FW
 //	htdp -stream big.csv -algo lasso          # out-of-core LASSO
 //	htdp -run streaming -stream big.csv       # the streaming sweep on a CSV
+//
+// Performance tooling:
+//
+//	htdp -benchjson BENCH_new.json                 # record the perf trajectory
+//	htdp -benchjson BENCH_ci.json -benchcmp BENCH_pr3.json  # record + gate vs baseline
+//	htdp -run fig1 -cpuprofile cpu.pprof           # profile any mode
 package main
 
 import (
@@ -24,8 +30,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"htdp/internal/benchio"
 	"htdp/internal/core"
 	"htdp/internal/data"
 	"htdp/internal/experiments"
@@ -55,6 +63,15 @@ func run(args []string, stdout io.Writer) error {
 		shapes = fs.Bool("shapes", false, "append a qualitative shape report per experiment")
 		out    = fs.String("o", "", "write output to this file instead of stdout")
 
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (any mode; diagnose hot-path regressions without editing code)")
+		memprofile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+
+		benchjson   = fs.String("benchjson", "", "run the benchio suite and write the BENCH_*.json perf-trajectory artifact here")
+		benchcmp    = fs.String("benchcmp", "", "baseline BENCH_*.json to gate the -benchjson run against (exit 1 on regression)")
+		benchtol    = fs.Float64("benchtol", 0.25, "slowdown tolerance of the -benchcmp gate (0.25 = fail beyond 25%)")
+		benchfilter = fs.String("benchfilter", "", "regexp selecting benchio benchmarks (default: all)")
+		benchrounds = fs.Int("benchrounds", 3, "timing rounds per benchmark; the fastest round is kept")
+
 		stream   = fs.String("stream", "", "stream this numeric CSV out of core (peak memory: one chunk, not n×d); runs -algo on it, or feeds -run streaming")
 		algo     = fs.String("algo", "fw", "algorithm for -stream: fw, lasso, iht, or sparseopt")
 		eps      = fs.Float64("eps", 1, "privacy budget ε for -stream")
@@ -77,6 +94,39 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "htdp: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "htdp: memprofile:", err)
+			}
+		}()
+	}
+
+	if *benchjson != "" {
+		return runBenchJSON(w, *benchjson, *benchcmp, *benchfilter, *benchtol, *benchrounds)
+	}
+	if *benchcmp != "" {
+		return fmt.Errorf("-benchcmp needs -benchjson (record a fresh report to gate)")
 	}
 
 	if *stream != "" && *runID == "" && !*list {
@@ -145,6 +195,38 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runBenchJSON records the perf trajectory: run the benchio suite,
+// write the BENCH_*.json artifact, and — when a baseline is given —
+// fail on any calibration-normalized slowdown beyond tol or any
+// zero-alloc kernel that started allocating.
+func runBenchJSON(w io.Writer, outPath, baselinePath, filter string, tol float64, rounds int) error {
+	rep, err := benchio.Run(filter, rounds, w)
+	if err != nil {
+		return err
+	}
+	if err := benchio.WriteFile(outPath, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d benchmarks, calib %.0f ns/op, %s %s/%s, GOMAXPROCS=%d)\n",
+		outPath, len(rep.Results), rep.CalibNs, rep.GoVersion, rep.GOOS, rep.GOARCH, rep.GOMAXPROCS)
+	if baselinePath == "" {
+		return nil
+	}
+	base, err := benchio.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	regs := benchio.Compare(base, rep, tol)
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "benchmark gate: no regressions beyond %.0f%% against %s\n", tol*100, baselinePath)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(w, "REGRESSION:", r)
+	}
+	return fmt.Errorf("%d benchmark regression(s) beyond %.0f%% against %s", len(regs), tol*100, baselinePath)
 }
 
 // streamOpts bundles the -stream mode's flags.

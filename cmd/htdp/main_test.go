@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"htdp/internal/benchio"
 	"htdp/internal/data"
 	"htdp/internal/randx"
 )
@@ -132,5 +133,75 @@ func TestStreamFeedsStreamingExperiment(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "config.source") || !strings.Contains(out, "dpfw-stream") {
 		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestBenchJSONMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_test.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-benchjson", out, "-benchfilter", "^kernel:robust-term$", "-benchrounds", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := benchio.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "kernel:robust-term" {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if !strings.Contains(buf.String(), "wrote "+out) {
+		t.Fatalf("missing confirmation:\n%s", buf.String())
+	}
+
+	// Gate against itself: identical reports pass...
+	buf.Reset()
+	if err := run([]string{"-benchjson", filepath.Join(dir, "BENCH_again.json"),
+		"-benchfilter", "^kernel:robust-term$", "-benchrounds", "1",
+		"-benchcmp", out}, &buf); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, buf.String())
+	}
+	// ...while a doctored 10x-faster baseline fails the gate.
+	rep.Results[0].NsPerOp /= 10
+	doctored := filepath.Join(dir, "BENCH_doctored.json")
+	if err := benchio.WriteFile(doctored, rep); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-benchjson", filepath.Join(dir, "BENCH_slow.json"),
+		"-benchfilter", "^kernel:robust-term$", "-benchrounds", "1",
+		"-benchcmp", doctored}, &buf); err == nil {
+		t.Fatalf("regression not flagged:\n%s", buf.String())
+	} else if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("missing regression report:\n%s", buf.String())
+	}
+}
+
+func TestBenchCmpNeedsBenchJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-benchcmp", "whatever.json"}, &buf); err == nil {
+		t.Fatal("-benchcmp alone: expected error")
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	if err := run([]string{"-list", "-cpuprofile", cpu, "-memprofile", mem}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

@@ -172,7 +172,29 @@ type (
 	RegLogisticLoss = loss.RegLogistic
 	BiweightLoss    = loss.Biweight
 	MeanSquaredLoss = loss.MeanSquared
+
+	// MarginLoss is a Loss whose gradient factorizes through the margin
+	// z = ⟨w, x⟩ as GradScale(z, y)·x + RegCoeff()·w. Every built-in
+	// loss except MeanSquaredLoss implements it; the optimizers detect
+	// it and take the fused, allocation-free gradient kernel.
+	MarginLoss = loss.MarginLoss
 )
+
+// AsMarginLoss reports whether l factorizes through the margin,
+// returning the MarginLoss view when it does.
+func AsMarginLoss(l Loss) (MarginLoss, bool) { return loss.AsMargin(l) }
+
+// GradFromMargin writes ∇ℓ into dst given the precomputed margin
+// z = ⟨w, x⟩, bit-identical to l.Grad.
+func GradFromMargin(l MarginLoss, dst, w, x []float64, y, z float64) []float64 {
+	return loss.GradFromMargin(l, dst, w, x, y, z)
+}
+
+// MarginsChunk computes all margins zᵢ = ⟨w, xᵢ⟩ of a chunk via the
+// blocked kernel (workers as everywhere: 0 → GOMAXPROCS).
+func MarginsChunk(dst, w []float64, x *Mat, workers int) []float64 {
+	return loss.MarginsChunk(dst, w, x, workers)
+}
 
 // EmpiricalRisk evaluates (1/n)·Σ ℓ(w, (xᵢ, yᵢ)) on ds.
 func EmpiricalRisk(l Loss, w []float64, ds *Dataset) float64 {
@@ -367,7 +389,16 @@ type (
 	// MeanEstimator is the Catoni–Giulini robust scalar mean estimator
 	// ˆx(s, β) of eqs. (1)–(5).
 	MeanEstimator = robust.MeanEstimator
+
+	// RobustWorkspace is the reusable iteration workspace of the fused
+	// robust-gradient kernel (margins, scales, shard partials, cached
+	// loop closures): one per run, steady-state calls allocate nothing.
+	RobustWorkspace = robust.Workspace
 )
+
+// NewRobustWorkspace returns an empty fused-kernel workspace; buffers
+// grow on first use and are reused afterwards.
+func NewRobustWorkspace() *RobustWorkspace { return robust.NewWorkspace() }
 
 // RobustMean estimates E x from heavy-tailed samples with truncation
 // scale s and smoothing precision beta.

@@ -1,0 +1,193 @@
+package benchio
+
+import (
+	"math"
+	"testing"
+
+	"htdp/internal/core"
+	"htdp/internal/data"
+	"htdp/internal/dp"
+	"htdp/internal/experiments"
+	"htdp/internal/loss"
+	"htdp/internal/polytope"
+	"htdp/internal/randx"
+	"htdp/internal/robust"
+	"htdp/internal/vecmath"
+)
+
+// The registered suite: one benchmark per experiment of the figure
+// registry (reduced scale, same code paths as the paper protocol) and
+// one per hot-path kernel. Kernel benchmarks pin the fused gradient
+// pipeline — margins, scales, truncation, selection — at both the
+// sequential and the all-cores setting, and their allocs/op are part of
+// the regression gate (a zero-alloc kernel must stay zero-alloc).
+
+// figCfg mirrors bench_test.go's benchCfg: every figure code path at a
+// laptop-sized scale.
+var figCfg = experiments.Config{Reps: 2, Scale: 0.02, Seed: 1}
+
+func init() {
+	for _, spec := range experiments.Registry() {
+		spec := spec
+		Register("fig:"+spec.ID, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if panels := spec.Run(figCfg); len(panels) == 0 {
+					b.Fatal("no panels")
+				}
+			}
+		})
+	}
+
+	Register("kernel:robust-term", benchRobustTerm)
+	Register("kernel:catoni-chunk-seq", benchCatoniChunk(1))
+	Register("kernel:catoni-chunk-par", benchCatoniChunk(0))
+	Register("kernel:catoni-rows-seq", benchCatoniRows(1))
+	Register("kernel:matvec", benchMatVec)
+	Register("kernel:mattvec", benchMatTVec)
+	Register("kernel:peeling", benchPeeling)
+	Register("kernel:expmech-l1", benchExpMechL1)
+	Register("kernel:fw-run-seq", benchFWRun(1))
+	Register("kernel:fw-run-par", benchFWRun(0))
+}
+
+func benchRobustTerm(b *testing.B) {
+	e := robust.MeanEstimator{S: 10, Beta: 1}
+	var sink float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink += e.Term(float64(i%17) - 8)
+	}
+	_ = sink
+}
+
+// benchChunk builds the shared robust-gradient workload: a 1000×500
+// heavy-tailed chunk and a unit-ℓ1 iterate.
+func benchChunk() (*vecmath.Mat, []float64, []float64) {
+	r := randx.New(1)
+	const m, d = 1000, 500
+	x := vecmath.NewMat(m, d)
+	for i := range x.Data {
+		x.Data[i] = r.StudentT(3)
+	}
+	y := r.NormalVec(make([]float64, m), 1)
+	w := data.L1UnitWStar(r, d)
+	return x, y, w
+}
+
+// benchCatoniChunk measures one fused robust-gradient evaluation —
+// margins, scales, column-blocked truncation — at the given worker
+// setting. The steady-state iteration of Algorithms 1 and 5.
+func benchCatoniChunk(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		x, y, w := benchChunk()
+		e := robust.MeanEstimator{S: 20, Beta: 1, Parallelism: workers}
+		ws := robust.NewWorkspace()
+		l := loss.Squared{}
+		dst := make([]float64, x.Cols)
+		run := func() {
+			margins := ws.Margins(x.Rows)
+			ws.Mat.MatVec(margins, x, w, workers)
+			scales := ws.Scales(x.Rows)
+			loss.ScalesFromMargins(l, scales, margins, y)
+			e.EstimateChunk(dst, x, scales, 0, nil, ws)
+		}
+		run() // warm the workspace
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	}
+}
+
+// benchCatoniRows measures the pre-fusion shape of the same estimate:
+// per-sample Loss.Grad rows through EstimateFuncWS (margin re-derived
+// per sample). Kept in the trajectory so the fusion win stays visible.
+func benchCatoniRows(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		x, y, w := benchChunk()
+		e := robust.MeanEstimator{S: 20, Beta: 1, Parallelism: workers}
+		ws := robust.NewWorkspace()
+		l := loss.Squared{}
+		dst := make([]float64, x.Cols)
+		grad := func(i int, buf []float64) { l.Grad(buf, w, x.Row(i), y[i]) }
+		e.EstimateFuncWS(dst, x.Rows, ws, grad)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.EstimateFuncWS(dst, x.Rows, ws, grad)
+		}
+	}
+}
+
+func benchMatVec(b *testing.B) {
+	x, _, w := benchChunk()
+	var ws vecmath.MatWorkspace
+	dst := make([]float64, x.Rows)
+	ws.MatVec(dst, x, w, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.MatVec(dst, x, w, 1)
+	}
+}
+
+func benchMatTVec(b *testing.B) {
+	x, y, _ := benchChunk()
+	var ws vecmath.MatWorkspace
+	dst := make([]float64, x.Cols)
+	ws.MatTVec(dst, x, y, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.MatTVec(dst, x, y, 1)
+	}
+}
+
+func benchPeeling(b *testing.B) {
+	r := randx.New(2)
+	v := r.NormalVec(make([]float64, 10000), 1)
+	rng := randx.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PeelingP(rng, v, 50, 1, 1e-5, 0.01, 1)
+	}
+}
+
+func benchExpMechL1(b *testing.B) {
+	r := randx.New(4)
+	g := r.NormalVec(make([]float64, 10000), 1)
+	rng := randx.New(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dp.ExponentialL1Ball(rng, g, 1, 0.01, 1)
+	}
+}
+
+// benchFWRun measures a complete Algorithm 1 run (n=5000, d=200,
+// heavy-tailed linear model) at the given worker setting — the
+// figure-level unit of the robust-mean-term path.
+func benchFWRun(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := randx.New(6)
+		ds := data.Linear(rng, data.LinearOpt{
+			N: 5000, D: 200,
+			Feature: randx.LogNormal{Mu: 0, Sigma: math.Sqrt(0.6)},
+			Noise:   randx.Normal{Mu: 0, Sigma: math.Sqrt(0.1)},
+		})
+		dom := polytope.NewL1Ball(200, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.FrankWolfe(ds, core.FWOptions{
+				Loss: loss.Squared{}, Domain: dom, Eps: 1,
+				Parallelism: workers, Rng: randx.New(int64(i)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

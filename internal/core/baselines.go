@@ -8,7 +8,6 @@ import (
 	"htdp/internal/data"
 	"htdp/internal/dp"
 	"htdp/internal/loss"
-	"htdp/internal/parallel"
 	"htdp/internal/polytope"
 	"htdp/internal/randx"
 	"htdp/internal/robust"
@@ -38,8 +37,9 @@ func NonprivateFWSource(src data.Source, l loss.Loss, p polytope.Polytope, T int
 	}
 	grad := make([]float64, d)
 	vtx := make([]float64, d)
+	var gws loss.GradWorkspace
 	for t := 1; t <= T; t++ {
-		if _, err := loss.FullGradientSource(l, grad, w, src, 0); err != nil {
+		if _, err := loss.FullGradientSourceWS(l, grad, w, src, 0, &gws); err != nil {
 			return nil, fmt.Errorf("core: NonprivateFW: %w", err)
 		}
 		p.Vertex(polytope.ArgminLinear(p, grad), vtx)
@@ -70,20 +70,21 @@ func NonprivateIHTSource(src data.Source, s, T int, eta float64) ([]float64, err
 	grad := make([]float64, d)
 	part := make([]float64, d)
 	resid := make([]float64, data.MaxChunkRows(n, C))
+	var mw vecmath.MatWorkspace
+	chunkBody := func(_ int, ck *data.Dataset) error {
+		m := ck.N()
+		r := resid[:m]
+		mw.MatVec(r, ck.X, w, 0)
+		for i := 0; i < m; i++ {
+			r[i] -= ck.Y[i]
+		}
+		mw.MatTVec(part, ck.X, r, 0)
+		vecmath.Axpy(1, part, grad)
+		return nil
+	}
 	for t := 1; t <= T; t++ {
 		vecmath.Zero(grad)
-		err := data.EachChunk(src, C, func(_ int, ck *data.Dataset) error {
-			m := ck.N()
-			r := resid[:m]
-			ck.X.MatVecP(r, w, 0)
-			for i := 0; i < m; i++ {
-				r[i] -= ck.Y[i]
-			}
-			ck.X.MatTVecP(part, r, 0)
-			vecmath.Axpy(1, part, grad)
-			return nil
-		})
-		if err != nil {
+		if err := data.EachChunk(src, C, chunkBody); err != nil {
 			return nil, fmt.Errorf("core: NonprivateIHT: %w", err)
 		}
 		vecmath.Axpy(-eta/float64(n), grad, w)
@@ -102,8 +103,9 @@ func NonprivateSparseGD(ds *data.Dataset, l loss.Loss, s, T int, eta float64) []
 	d := ds.D()
 	w := make([]float64, d)
 	grad := make([]float64, d)
+	var gws loss.GradWorkspace
 	for t := 1; t <= T; t++ {
-		if _, err := loss.FullGradientSource(l, grad, w, src, 0); err != nil {
+		if _, err := loss.FullGradientSourceWS(l, grad, w, src, 0, &gws); err != nil {
 			panic(err) // unreachable: MemSource chunks cannot fail
 		}
 		vecmath.Axpy(-eta, grad, w)
@@ -164,7 +166,6 @@ func TalwarDPFWSource(src data.Source, opt TalwarFWOptions) ([]float64, error) {
 	}
 	C := data.StreamChunks(n)
 	epsIter := opt.Eps / (2 * math.Sqrt(2*float64(opt.T)*math.Log(1/opt.Delta)))
-	sens := maxVertexL1(opt.Domain) * 2 * opt.GradBound / float64(n)
 
 	w := make([]float64, d)
 	if opt.W0 != nil {
@@ -173,27 +174,21 @@ func TalwarDPFWSource(src data.Source, opt TalwarFWOptions) ([]float64, error) {
 	grad := make([]float64, d)
 	part := make([]float64, d)
 	vtx := make([]float64, d)
+	sens := maxVertexL1(opt.Domain, vtx) * 2 * opt.GradBound / float64(n)
+	sel := newVertexSelector(opt.Domain, grad)
+	gsum := newGradSum(opt.Loss, func(buf []float64) { vecmath.Clip(buf, opt.GradBound) })
+	chunkBody := func(_ int, ck *data.Dataset) error {
+		gsum.run(part, w, ck, nil, opt.Parallelism)
+		vecmath.Axpy(1, part, grad)
+		return nil
+	}
 	for t := 1; t <= opt.T; t++ {
 		vecmath.Zero(grad)
-		err := data.EachChunk(src, C, func(_ int, ck *data.Dataset) error {
-			parallel.ReduceVec(opt.Parallelism, ck.N(), part, func(acc []float64, _, lo, hi int) {
-				buf := make([]float64, d)
-				for i := lo; i < hi; i++ {
-					opt.Loss.Grad(buf, w, ck.X.Row(i), ck.Y[i])
-					vecmath.Clip(buf, opt.GradBound)
-					vecmath.Axpy(1, buf, acc)
-				}
-			})
-			vecmath.Axpy(1, part, grad)
-			return nil
-		})
-		if err != nil {
+		if err := data.EachChunk(src, C, chunkBody); err != nil {
 			return nil, fmt.Errorf("core: TalwarDPFW: %w", err)
 		}
 		vecmath.Scale(grad, 1/float64(n))
-		idx := dp.ExponentialLazy(opt.Rng, opt.Domain.NumVertices(), func(i int) float64 {
-			return opt.Domain.VertexScore(i, grad)
-		}, sens, epsIter)
+		idx := sel.pick(opt.Rng, sens, epsIter)
 		opt.Domain.Vertex(idx, vtx)
 		vecmath.Lerp(w, w, vtx, 2/float64(t+2))
 	}
@@ -258,21 +253,15 @@ func DPGDSource(src data.Source, opt DPGDOptions) ([]float64, error) {
 	w := make([]float64, d)
 	grad := make([]float64, d)
 	part := make([]float64, d)
+	gsum := newGradSum(opt.Loss, func(buf []float64) { vecmath.ClipL2(buf, opt.Clip) })
+	chunkBody := func(_ int, ck *data.Dataset) error {
+		gsum.run(part, w, ck, nil, opt.Parallelism)
+		vecmath.Axpy(1, part, grad)
+		return nil
+	}
 	for t := 1; t <= opt.T; t++ {
 		vecmath.Zero(grad)
-		err := data.EachChunk(src, C, func(_ int, ck *data.Dataset) error {
-			parallel.ReduceVec(opt.Parallelism, ck.N(), part, func(acc []float64, _, lo, hi int) {
-				buf := make([]float64, d)
-				for i := lo; i < hi; i++ {
-					opt.Loss.Grad(buf, w, ck.X.Row(i), ck.Y[i])
-					vecmath.ClipL2(buf, opt.Clip)
-					vecmath.Axpy(1, buf, acc)
-				}
-			})
-			vecmath.Axpy(1, part, grad)
-			return nil
-		})
-		if err != nil {
+		if err := data.EachChunk(src, C, chunkBody); err != nil {
 			return nil, fmt.Errorf("core: DPGD: %w", err)
 		}
 		vecmath.Scale(grad, 1/float64(n))
@@ -368,21 +357,14 @@ func DPSGD(ds *data.Dataset, opt DPSGDOptions) ([]float64, error) {
 	w := make([]float64, d)
 	grad := make([]float64, d)
 	batch := make([]int, opt.Batch)
+	gsum := newGradSum(opt.Loss, func(buf []float64) { vecmath.ClipL2(buf, opt.Clip) })
 	for t := 1; t <= opt.T; t++ {
 		// Draw the batch on the single sequential stream, then fan the
 		// clipped-gradient sum out over batch shards.
 		for b := range batch {
 			batch[b] = opt.Rng.Intn(n)
 		}
-		parallel.ReduceVec(opt.Parallelism, opt.Batch, grad, func(acc []float64, _, lo, hi int) {
-			buf := make([]float64, d)
-			for b := lo; b < hi; b++ {
-				i := batch[b]
-				opt.Loss.Grad(buf, w, ds.X.Row(i), ds.Y[i])
-				vecmath.ClipL2(buf, opt.Clip)
-				vecmath.Axpy(1, buf, acc)
-			}
-		})
+		gsum.run(grad, w, ds, batch, opt.Parallelism)
 		vecmath.Scale(grad, 1/float64(opt.Batch))
 		for j := range grad {
 			grad[j] += sigma * opt.Rng.Normal()
@@ -457,16 +439,14 @@ func RobustGaussianGDSource(src data.Source, opt RobustGaussianGDOptions) ([]flo
 
 	w := make([]float64, d)
 	grad := make([]float64, d)
+	gs := newGradState(est, opt.Loss)
 	for t := 1; t <= opt.T; t++ {
 		part, err := src.Chunk(t-1, opt.T)
 		if err != nil {
 			return nil, fmt.Errorf("core: RobustGaussianGD chunk %d/%d: %w", t-1, opt.T, err)
 		}
-		m := part.N()
-		est.EstimateFunc(grad, m, func(i int, buf []float64) {
-			opt.Loss.Grad(buf, w, part.X.Row(i), part.Y[i])
-		})
-		l2sens := math.Sqrt(float64(d)) * est.Sensitivity(m)
+		gs.estimate(grad, w, part)
+		l2sens := math.Sqrt(float64(d)) * est.Sensitivity(part.N())
 		dp.GaussianMechanism(opt.Rng, grad, l2sens, dp.Params{Eps: opt.Eps, Delta: opt.Delta})
 		vecmath.Axpy(-opt.LR, grad, w)
 		if opt.Project != nil {

@@ -93,8 +93,11 @@ func SparseMeanSource(src data.Source, opt SparseMeanOptions) ([]float64, error)
 	}
 	est := robust.MeanEstimator{S: opt.K, Beta: opt.Beta, Parallelism: opt.Parallelism}
 	sm := est.NewStream(d)
+	var cur *data.Dataset
+	rowFn := func(i int, buf []float64) { copy(buf, cur.X.Row(i)) }
 	err := data.EachChunk(src, data.StreamChunks(n), func(_ int, ck *data.Dataset) error {
-		sm.Add(ck.N(), func(i int, buf []float64) { copy(buf, ck.X.Row(i)) })
+		cur = ck
+		sm.Add(ck.N(), rowFn)
 		return nil
 	})
 	if err != nil {
@@ -265,28 +268,47 @@ func FullDataFWSource(src data.Source, opt FullDataFWOptions) ([]float64, error)
 
 	est := robust.MeanEstimator{S: opt.S, Beta: opt.Beta, Parallelism: opt.Parallelism}
 	epsIter := opt.Eps / (2 * math.Sqrt(2*float64(opt.T)*math.Log(1/opt.Delta)))
-	sens := maxVertexL1(opt.Domain) * est.Sensitivity(n)
 	sm := est.NewStream(d)
 	C := data.StreamChunks(n)
 
 	w := vecmath.Clone(opt.W0)
 	grad := make([]float64, d)
 	vtx := make([]float64, d)
+	sens := maxVertexL1(opt.Domain, vtx) * est.Sensitivity(n)
+	sel := newVertexSelector(opt.Domain, grad)
+	// The per-chunk accumulation is hoisted: margin losses stream
+	// through the fused AddChunk kernel, others through the generic Add
+	// with a current-chunk callback.
+	ml, fused := loss.AsMargin(opt.Loss)
+	var cur *data.Dataset
+	var gradFn func(i int, buf []float64)
+	if !fused {
+		gradFn = func(i int, buf []float64) {
+			opt.Loss.Grad(buf, w, cur.X.Row(i), cur.Y[i])
+		}
+	}
+	chunkBody := func(_ int, ck *data.Dataset) error {
+		if fused {
+			sws := sm.Workspace()
+			m := ck.N()
+			margins := sws.Margins(m)
+			sws.Mat.MatVec(margins, ck.X, w, opt.Parallelism)
+			scales := sws.Scales(m)
+			loss.ScalesFromMargins(ml, scales, margins, ck.Y)
+			sm.AddChunk(ck.X, scales, ml.RegCoeff(), w)
+		} else {
+			cur = ck
+			sm.Add(ck.N(), gradFn)
+		}
+		return nil
+	}
 	for t := 1; t <= opt.T; t++ {
 		sm.Reset()
-		err := data.EachChunk(src, C, func(_ int, ck *data.Dataset) error {
-			sm.Add(ck.N(), func(i int, buf []float64) {
-				opt.Loss.Grad(buf, w, ck.X.Row(i), ck.Y[i])
-			})
-			return nil
-		})
-		if err != nil {
+		if err := data.EachChunk(src, C, chunkBody); err != nil {
 			return nil, fmt.Errorf("core: FullDataFW: %w", err)
 		}
 		sm.Finish(grad)
-		idx := dp.ExponentialLazy(opt.Rng, opt.Domain.NumVertices(), func(i int) float64 {
-			return opt.Domain.VertexScore(i, grad)
-		}, sens, epsIter)
+		idx := sel.pick(opt.Rng, sens, epsIter)
 		opt.Domain.Vertex(idx, vtx)
 		vecmath.Lerp(w, w, vtx, 2/float64(t+2))
 		if opt.Trace != nil {

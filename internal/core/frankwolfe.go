@@ -150,23 +150,26 @@ func FrankWolfeSource(src data.Source, opt FWOptions) ([]float64, error) {
 	if opt.Average {
 		avg = make([]float64, d)
 	}
+	// Per-run workspaces: fused gradient state, vertex selector, and the
+	// memoized ‖W‖₁ bound — everything the loop reuses, so iterations
+	// allocate nothing after the first.
+	gs := newGradState(est, opt.Loss)
+	sel := newVertexSelector(opt.Domain, grad)
+	l1max := maxVertexL1(opt.Domain, vtx)
 	for t := 1; t <= opt.T; t++ {
 		part, err := src.Chunk(t-1, opt.T)
 		if err != nil {
 			return nil, fmt.Errorf("core: FrankWolfe chunk %d/%d: %w", t-1, opt.T, err)
 		}
 		m := part.N()
-		// Step 4–5: robust coordinate-wise gradient estimate g̃(w, D_t).
-		est.EstimateFunc(grad, m, func(i int, buf []float64) {
-			opt.Loss.Grad(buf, w, part.X.Row(i), part.Y[i])
-		})
+		// Step 4–5: robust coordinate-wise gradient estimate g̃(w, D_t),
+		// through the fused margin kernel when the loss factorizes.
+		gs.estimate(grad, w, part)
 		// Step 6: exponential mechanism over the vertex set with score
 		// u(v) = −⟨v, g̃⟩. |u(D,v) − u(D′,v)| ≤ ‖v‖₁·‖g̃−g̃′‖∞ ≤
 		// max_v‖v‖₁ · 4√2·s/(3m) — the Theorem-1 sensitivity.
-		sens := maxVertexL1(opt.Domain) * est.Sensitivity(m)
-		idx := dp.ExponentialLazy(opt.Rng, opt.Domain.NumVertices(), func(i int) float64 {
-			return opt.Domain.VertexScore(i, grad)
-		}, sens, opt.Eps)
+		sens := l1max * est.Sensitivity(m)
+		idx := sel.pick(opt.Rng, sens, opt.Eps)
 		opt.Domain.Vertex(idx, vtx)
 		// Step 7: convex update.
 		eta := opt.EtaConst
@@ -186,23 +189,4 @@ func FrankWolfeSource(src data.Source, opt FWOptions) ([]float64, error) {
 		return avg, nil
 	}
 	return w, nil
-}
-
-// maxVertexL1 returns max_v ‖v‖₁ over the vertex set — the ‖W‖₁ factor
-// in the score sensitivity |u(D,v) − u(D′,v)| ≤ ‖v‖₁·‖g̃−g̃′‖∞.
-func maxVertexL1(p polytope.Polytope) float64 {
-	switch q := p.(type) {
-	case polytope.L1Ball:
-		return q.Radius
-	case polytope.Simplex:
-		return 1
-	}
-	buf := make([]float64, p.Dim())
-	var m float64
-	for i := 0; i < p.NumVertices(); i++ {
-		if n := vecmath.Norm1(p.Vertex(i, buf)); n > m {
-			m = n
-		}
-	}
-	return m
 }

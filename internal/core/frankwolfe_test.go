@@ -180,15 +180,24 @@ func TestFrankWolfeOnSimplex(t *testing.T) {
 }
 
 func TestMaxVertexL1(t *testing.T) {
-	if got := maxVertexL1(polytope.NewL1Ball(4, 2.5)); got != 2.5 {
+	if got := maxVertexL1(polytope.NewL1Ball(4, 2.5), nil); got != 2.5 {
 		t.Errorf("L1Ball maxVertexL1 = %v", got)
 	}
-	if got := maxVertexL1(polytope.NewSimplex(4)); got != 1 {
+	if got := maxVertexL1(polytope.NewSimplex(4), nil); got != 1 {
 		t.Errorf("Simplex maxVertexL1 = %v", got)
 	}
 	e := polytope.NewExplicit("t", [][]float64{{1, 1}, {0, -3}})
-	if got := maxVertexL1(e); got != 3 {
+	buf := make([]float64, 2)
+	if got := maxVertexL1(e, buf); got != 3 {
 		t.Errorf("Explicit maxVertexL1 = %v", got)
+	}
+	// The generic scan is memoized per polytope: a second call must hit
+	// the cache (and still agree) even with a nil buffer.
+	if got := maxVertexL1(e, nil); got != 3 {
+		t.Errorf("memoized Explicit maxVertexL1 = %v", got)
+	}
+	if _, ok := vertexL1Cache.Load(e); !ok {
+		t.Error("Explicit polytope not memoized")
 	}
 }
 

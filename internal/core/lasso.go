@@ -105,13 +105,27 @@ func LassoSource(src data.Source, opt LassoOptions) ([]float64, error) {
 	sh := data.ShrinkSource(src, opt.K)
 	C := data.StreamChunks(n)
 	epsIter := opt.Eps / (2 * math.Sqrt(2*float64(opt.T)*math.Log(1/opt.Delta)))
-	sens := 8 * maxVertexL1(opt.Domain) * opt.K * opt.K / float64(n)
+	sens := 8 * maxVertexL1(opt.Domain, nil) * opt.K * opt.K / float64(n)
 
 	w := vecmath.Clone(opt.W0)
 	grad := make([]float64, d)
 	part := make([]float64, d)
 	resid := make([]float64, data.MaxChunkRows(n, C))
 	vtx := make([]float64, d)
+	// Step 4's chunk body is hoisted with the run's MatWorkspace, so the
+	// T-iteration loop reuses one set of kernel buffers and closures.
+	var mw vecmath.MatWorkspace
+	chunkBody := func(_ int, ck *data.Dataset) error {
+		m := ck.N()
+		r := resid[:m]
+		mw.MatVec(r, ck.X, w, opt.Parallelism)
+		for i := 0; i < m; i++ {
+			r[i] -= ck.Y[i]
+		}
+		mw.MatTVec(part, ck.X, r, opt.Parallelism)
+		vecmath.Axpy(1, part, grad)
+		return nil
+	}
 	for t := 1; t <= opt.T; t++ {
 		// Step 4: g̃(w, D̃) = (2/n)·Σ x̃ᵢ(⟨x̃ᵢ, w⟩ − ỹᵢ), the exact
 		// empirical gradient of the squared loss on the shrunken data,
@@ -120,24 +134,11 @@ func LassoSource(src data.Source, opt LassoOptions) ([]float64, error) {
 		// functions of n alone, so the gradient is bit-identical for
 		// every worker count and every backend.
 		vecmath.Zero(grad)
-		err := data.EachChunk(sh, C, func(_ int, ck *data.Dataset) error {
-			m := ck.N()
-			r := resid[:m]
-			ck.X.MatVecP(r, w, opt.Parallelism)
-			for i := 0; i < m; i++ {
-				r[i] -= ck.Y[i]
-			}
-			ck.X.MatTVecP(part, r, opt.Parallelism)
-			vecmath.Axpy(1, part, grad)
-			return nil
-		})
-		if err != nil {
+		if err := data.EachChunk(sh, C, chunkBody); err != nil {
 			return nil, fmt.Errorf("core: Lasso: %w", err)
 		}
 		vecmath.Scale(grad, 2/float64(n))
-		idx := dp.ExponentialLazy(opt.Rng, opt.Domain.NumVertices(), func(i int) float64 {
-			return opt.Domain.VertexScore(i, grad)
-		}, sens, epsIter)
+		idx := dp.ExponentialL1Ball(opt.Rng, grad, opt.Domain.Radius, sens, epsIter)
 		opt.Domain.Vertex(idx, vtx)
 		// Step 5: convex update with η_{t−1} = 2/(t+2).
 		vecmath.Lerp(w, w, vtx, 2/float64(t+2))

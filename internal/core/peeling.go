@@ -34,6 +34,39 @@ func Peeling(r *randx.RNG, v []float64, s int, eps, delta, lambda float64) []flo
 // The shard structure and streams depend only on (r, len(v)), so the
 // output is bit-identical for every worker count.
 func PeelingP(r *randx.RNG, v []float64, s int, eps, delta, lambda float64, workers int) []float64 {
+	return peeling(nil, nil, r, v, s, eps, delta, lambda, workers)
+}
+
+// peelArgmax is one shard's local noisy argmax.
+type peelArgmax struct {
+	score float64
+	j     int
+}
+
+// peelScratch is the reusable selection scratch of the iterative
+// algorithms: the selected mask, per-shard argmaxes, the split RNG
+// children (re-seeded in place each round), the index list, and the
+// cached scan closure. One scratch per run per goroutine.
+type peelScratch struct {
+	selected []bool
+	idx      []int
+	bests    []peelArgmax
+	rngs     []*randx.RNG
+
+	// Call state read by the cached body.
+	v     []float64
+	scale float64
+	noisy bool
+	body  func(shard, lo, hi int)
+}
+
+// peeling implements PeelingP. ps and dst, when non-nil, supply
+// reusable scratch and the output buffer (dst must not alias v and is
+// zeroed here), making steady-state calls allocation-free; nil ps/dst
+// reproduce the one-shot PeelingP behavior. Output is bit-identical
+// either way: the scratch only changes where buffers live, and the
+// re-seeded RNG children replay the exact streams fresh splits produce.
+func peeling(ps *peelScratch, dst []float64, r *randx.RNG, v []float64, s int, eps, delta, lambda float64, workers int) []float64 {
 	if s < 1 || s > len(v) {
 		panic(fmt.Sprintf("core: Peeling s=%d outside [1,%d]", s, len(v)))
 	}
@@ -45,35 +78,58 @@ func PeelingP(r *randx.RNG, v []float64, s int, eps, delta, lambda float64, work
 	}
 	scale := 2 * lambda * math.Sqrt(3*float64(s)*math.Log(1/delta)) / eps
 	d := len(v)
-	selected := make([]bool, d)
-	idx := make([]int, 0, s)
-	type argmax struct {
-		score float64
-		j     int
+	if ps == nil {
+		ps = &peelScratch{}
 	}
-	bests := make([]argmax, parallel.NumShards(d))
-	for i := 0; i < s; i++ {
-		var rngs []*randx.RNG
-		if scale > 0 {
-			rngs = parallel.SplitRNGs(r, d)
-		}
-		parallel.For(workers, d, func(shard, lo, hi int) {
-			b := argmax{math.Inf(-1), -1}
+	if dst == nil {
+		dst = make([]float64, d)
+	} else {
+		vecmath.Zero(dst)
+	}
+	if cap(ps.selected) < d {
+		ps.selected = make([]bool, d)
+	}
+	selected := ps.selected[:d]
+	for j := range selected {
+		selected[j] = false
+	}
+	k := parallel.NumShards(d)
+	if cap(ps.bests) < k {
+		ps.bests = make([]peelArgmax, k)
+	}
+	bests := ps.bests[:k]
+	if cap(ps.idx) < s {
+		ps.idx = make([]int, 0, s)
+	}
+	idx := ps.idx[:0]
+	ps.v, ps.scale = v, scale
+	ps.noisy = scale > 0
+	if ps.body == nil {
+		ps.body = func(shard, lo, hi int) {
+			v, scale, noisy := ps.v, ps.scale, ps.noisy
+			selected := ps.selected
+			b := peelArgmax{math.Inf(-1), -1}
 			for j := lo; j < hi; j++ {
 				if selected[j] {
 					continue
 				}
 				score := math.Abs(v[j])
-				if rngs != nil {
-					score += rngs[shard].Laplace(scale)
+				if noisy {
+					score += ps.rngs[shard].Laplace(scale)
 				}
 				if score > b.score {
-					b = argmax{score, j}
+					b = peelArgmax{score, j}
 				}
 			}
-			bests[shard] = b
-		})
-		win := argmax{math.Inf(-1), -1}
+			ps.bests[shard] = b
+		}
+	}
+	for i := 0; i < s; i++ {
+		if ps.noisy {
+			ps.rngs = parallel.SplitRNGsInto(ps.rngs, r, d)
+		}
+		parallel.For(workers, d, ps.body)
+		win := peelArgmax{math.Inf(-1), -1}
 		for _, b := range bests {
 			if b.j >= 0 && b.score > win.score {
 				win = b
@@ -82,14 +138,15 @@ func PeelingP(r *randx.RNG, v []float64, s int, eps, delta, lambda float64, work
 		selected[win.j] = true
 		idx = append(idx, win.j)
 	}
-	out := make([]float64, d)
+	ps.idx = idx
 	for _, j := range idx {
-		out[j] = v[j]
+		dst[j] = v[j]
 		if scale > 0 {
-			out[j] += r.Laplace(scale)
+			dst[j] += r.Laplace(scale)
 		}
 	}
-	return out
+	ps.v = nil
+	return dst
 }
 
 // PeelingScale returns the Laplace scale used inside Peeling; exposed so

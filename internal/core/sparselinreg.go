@@ -119,6 +119,12 @@ func SparseLinRegSource(src data.Source, opt SparseLinRegOptions) ([]float64, er
 	w := vecmath.Clone(opt.W0)
 	grad := make([]float64, d)
 	resid := make([]float64, data.MaxChunkRows(src.N(), opt.T))
+	// Per-run workspaces: blocked-kernel buffers, Peeling scratch, and
+	// the ping-pong buffer the peeled iterate lands in — the loop
+	// allocates nothing after the first iteration.
+	var mw vecmath.MatWorkspace
+	var ps peelScratch
+	wNext := make([]float64, d)
 	for t := 1; t <= opt.T; t++ {
 		part, err := sh.Chunk(t-1, opt.T)
 		if err != nil {
@@ -128,15 +134,16 @@ func SparseLinRegSource(src data.Source, opt SparseLinRegOptions) ([]float64, er
 		// Step 5: w_{t+0.5} = w_t − (η₀/m)·Σ x̃(⟨x̃, w_t⟩ − ỹ),
 		// via the blocked pair r = X̃w − ỹ, grad = X̃ᵀr.
 		r := resid[:m]
-		part.X.MatVecP(r, w, opt.Parallelism)
+		mw.MatVec(r, part.X, w, opt.Parallelism)
 		for i := 0; i < m; i++ {
 			r[i] -= part.Y[i]
 		}
-		part.X.MatTVecP(grad, r, opt.Parallelism)
+		mw.MatTVec(grad, part.X, r, opt.Parallelism)
 		vecmath.Axpy(-opt.Eta0/float64(m), grad, w)
 		// Step 6: Peeling with λ = 2K²η₀(√s+1)/m.
 		lambda := 2 * opt.K * opt.K * opt.Eta0 * (math.Sqrt(float64(opt.S)) + 1) / float64(m)
-		w = PeelingP(opt.Rng, w, opt.S, opt.Eps, opt.Delta, lambda, opt.Parallelism)
+		peeling(&ps, wNext, opt.Rng, w, opt.S, opt.Eps, opt.Delta, lambda, opt.Parallelism)
+		w, wNext = wNext, w
 		// Step 7: project onto the unit ℓ2 ball.
 		vecmath.ProjectL2Ball(w, 1)
 		if opt.Trace != nil {

@@ -138,23 +138,28 @@ func SparseOptSource(src data.Source, opt SparseOptOptions) ([]float64, error) {
 
 	w := vecmath.Clone(opt.W0)
 	grad := make([]float64, d)
+	// Per-run workspaces: fused gradient state, Peeling scratch, and the
+	// peeled iterate's ping-pong buffer.
+	gs := newGradState(est, opt.Loss)
+	var ps peelScratch
+	wNext := make([]float64, d)
 	for t := 1; t <= opt.T; t++ {
 		part, err := src.Chunk(t-1, opt.T)
 		if err != nil {
 			return nil, fmt.Errorf("core: SparseOpt chunk %d/%d: %w", t-1, opt.T, err)
 		}
 		m := part.N()
-		// Step 4–5: robust coordinate-wise gradient g̃(w, D_t).
-		est.EstimateFunc(grad, m, func(i int, buf []float64) {
-			opt.Loss.Grad(buf, w, part.X.Row(i), part.Y[i])
-		})
+		// Step 4–5: robust coordinate-wise gradient g̃(w, D_t), fused
+		// through the margin kernel when the loss factorizes.
+		gs.estimate(grad, w, part)
 		// Step 6: gradient step.
 		vecmath.Axpy(-opt.Eta, grad, w)
 		// Step 7: Peeling. λ is the exact step sensitivity
 		// η·‖g̃−g̃′‖∞ ≤ η·4√2·k/(3m) (the listing's 4√2·k·η/m is the
 		// same bound with the 1/3 absorbed; we use the tight constant).
 		lambda := opt.Eta * est.Sensitivity(m)
-		w = PeelingP(opt.Rng, w, opt.S, opt.Eps, opt.Delta, lambda, opt.Parallelism)
+		peeling(&ps, wNext, opt.Rng, w, opt.S, opt.Eps, opt.Delta, lambda, opt.Parallelism)
+		w, wNext = wNext, w
 		if opt.Trace != nil {
 			opt.Trace(t, w)
 		}

@@ -38,6 +38,13 @@ type CSVSource struct {
 
 	cached           *Dataset
 	cachedT, cacheOf int
+	// bufX/bufY back the cached chunk and are recycled across Chunk
+	// calls (the m·d parse target is by far the backend's largest
+	// allocation; reusing it makes steady-state streaming generate no
+	// matrix garbage). The previous chunk's contents are overwritten —
+	// the Source contract already forbids using a chunk after the next
+	// Chunk call.
+	bufX, bufY []float64
 }
 
 // OpenCSV opens a numeric CSV file as a streaming Source. labelCol
@@ -132,9 +139,10 @@ func (s *CSVSource) N() int { return s.n }
 // D returns the feature dimension (columns minus the label column).
 func (s *CSVSource) D() int { return s.d }
 
-// Chunk seeks to row t·n/T and parses the chunk's rows into a fresh
-// Dataset (or returns the cached one when (t, T) repeats). Only this
-// one chunk is resident; the previous chunk becomes garbage.
+// Chunk seeks to row t·n/T and parses the chunk's rows into the
+// source's reusable one-slot buffer (or returns the cached chunk when
+// (t, T) repeats). Only this one chunk is resident; the previous
+// chunk's storage is recycled, not reallocated.
 func (s *CSVSource) Chunk(t, T int) (*Dataset, error) {
 	if err := checkChunk(t, T, s.n); err != nil {
 		return nil, err
@@ -148,14 +156,26 @@ func (s *CSVSource) Chunk(t, T int) (*Dataset, error) {
 	}
 	cr := csv.NewReader(io.LimitReader(s.f, s.offsets[hi]-s.offsets[lo]))
 	cr.ReuseRecord = true
-	x := vecmath.NewMat(hi-lo, s.d)
-	y := make([]float64, hi-lo)
-	for i := 0; i < hi-lo; i++ {
+	m := hi - lo
+	if cap(s.bufX) < m*s.d {
+		s.bufX = make([]float64, m*s.d)
+	}
+	if cap(s.bufY) < m {
+		s.bufY = make([]float64, m)
+	}
+	// Fresh headers over the recycled buffers: the previous chunk's
+	// *Dataset stays distinct (callers can tell chunks apart) while the
+	// m·d float storage is reused.
+	x := &vecmath.Mat{Rows: m, Cols: s.d, Data: s.bufX[:m*s.d]}
+	y := s.bufY[:m]
+	for i := 0; i < m; i++ {
 		rec, err := cr.Read()
 		if err != nil {
+			s.cached = nil // the buffer now holds a partial parse
 			return nil, fmt.Errorf("data: reading CSV row %d: %w", lo+i, err)
 		}
 		if err := parseNumericRow(rec, s.labelCol, x.Row(i), &y[i]); err != nil {
+			s.cached = nil
 			return nil, fmt.Errorf("data: CSV row %d %w", lo+i, err)
 		}
 	}

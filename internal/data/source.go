@@ -116,8 +116,16 @@ func WStarOf(src Source) []float64 {
 // MemSource serves chunks of an in-memory Dataset as zero-copy views —
 // the backend behind every Dataset-taking algorithm entry point, and
 // the reference the streamed backends must match bit for bit.
+//
+// Chunk reuses one view header across calls (per the Source contract, a
+// chunk is valid only until the next Chunk call), so the per-iteration
+// chunk loads of the algorithms allocate nothing. Chunk(0, 1) returns
+// the wrapped dataset itself, which stays valid forever — Materialize
+// over a MemSource is free and stable.
 type MemSource struct {
-	ds *Dataset
+	ds    *Dataset
+	view  Dataset     // reusable chunk header, repointed per Chunk call
+	viewX vecmath.Mat // reusable matrix header backing view.X
 }
 
 // NewMemSource wraps an in-memory dataset as a Source.
@@ -138,13 +146,20 @@ func (s *MemSource) D() int { return s.ds.D() }
 func (s *MemSource) Dataset() *Dataset { return s.ds }
 
 // Chunk returns rows [t·n/T, (t+1)·n/T) as a view sharing the wrapped
-// dataset's storage.
+// dataset's storage. The view's header is reused by the next Chunk call
+// (except the full-range chunk, which is the wrapped dataset itself).
 func (s *MemSource) Chunk(t, T int) (*Dataset, error) {
 	if err := checkChunk(t, T, s.N()); err != nil {
 		return nil, err
 	}
 	lo, hi := ChunkBounds(t, T, s.N())
-	return s.ds.Subset(lo, hi), nil
+	if lo == 0 && hi == s.N() {
+		return s.ds, nil
+	}
+	cols := s.ds.X.Cols
+	s.viewX = vecmath.Mat{Rows: hi - lo, Cols: cols, Data: s.ds.X.Data[lo*cols : hi*cols]}
+	s.view = Dataset{Label: s.ds.Label, X: &s.viewX, Y: s.ds.Y[lo:hi], WStar: s.ds.WStar}
+	return &s.view, nil
 }
 
 // Close is a no-op; the wrapped dataset stays usable.
@@ -283,6 +298,13 @@ func LogisticSource(seed int64, opt LogisticOpt) *GenSource {
 type shrinkSource struct {
 	src Source
 	k   float64
+
+	// One-slot output buffer, recycled across Chunk calls like the CSV
+	// backend's parse buffer (the Source contract already limits a chunk's
+	// lifetime to the next Chunk call).
+	bufX, bufY []float64
+	out        Dataset
+	outX       vecmath.Mat
 }
 
 // ShrinkSource wraps src so every chunk is entry-wise truncated at k:
@@ -309,7 +331,33 @@ func (s *shrinkSource) Chunk(t, T int) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ck.Shrink(s.k), nil
+	m, d := ck.X.Rows, ck.X.Cols
+	if cap(s.bufX) < m*d {
+		s.bufX = make([]float64, m*d)
+	}
+	if cap(s.bufY) < m {
+		s.bufY = make([]float64, m)
+	}
+	xd, yd := s.bufX[:m*d], s.bufY[:m]
+	for i, v := range ck.X.Data {
+		if v > s.k {
+			v = s.k
+		} else if v < -s.k {
+			v = -s.k
+		}
+		xd[i] = v
+	}
+	for i, v := range ck.Y {
+		if v > s.k {
+			v = s.k
+		} else if v < -s.k {
+			v = -s.k
+		}
+		yd[i] = v
+	}
+	s.outX = vecmath.Mat{Rows: m, Cols: d, Data: xd}
+	s.out = Dataset{Label: ck.Label, X: &s.outX, Y: yd, WStar: ck.WStar}
+	return &s.out, nil
 }
 
 func (s *shrinkSource) Close() error { return s.src.Close() }

@@ -187,6 +187,52 @@ func ExponentialLazy(r *randx.RNG, n int, score func(int) float64, sensitivity, 
 	return bi
 }
 
+// ExponentialL1Ball is ExponentialLazy specialized to the 2d implicit
+// vertices {±radius·eⱼ} of an ℓ1 ball scored against a gradient g
+// (vertex j scores −radius·g[j], vertex d+j scores +radius·g[j]): the
+// whole vertex set is scored in one pass over g with no per-vertex
+// closure or interface dispatch — the Frank–Wolfe oracle's hot path.
+// The candidate order, Gumbel draw sequence, and tie-breaking replicate
+// ExponentialLazy over polytope.L1Ball.VertexScore exactly, so the
+// selected index is bit-identical.
+func ExponentialL1Ball(r *randx.RNG, g []float64, radius, sensitivity, eps float64) int {
+	d := len(g)
+	if d == 0 {
+		panic("dp: ExponentialL1Ball with no candidates")
+	}
+	if sensitivity < 0 {
+		panic("dp: negative sensitivity")
+	}
+	if eps <= 0 {
+		panic("dp: non-positive ε")
+	}
+	noisy := sensitivity > 0
+	c := 0.0
+	if noisy {
+		c = eps / (2 * sensitivity)
+	}
+	best, bi := math.Inf(-1), 0
+	for i, gi := range g {
+		v := -radius * gi
+		if noisy {
+			v = c*v + r.Gumbel()
+		}
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	for i, gi := range g {
+		v := radius * gi
+		if noisy {
+			v = c*v + r.Gumbel()
+		}
+		if v > best {
+			best, bi = v, d+i
+		}
+	}
+	return bi
+}
+
 // Accountant tracks cumulative privacy spending under basic (linear)
 // composition; it is a guard rail for experiment code, not a tight
 // accountant. Spend returns an error once the budget is exceeded.

@@ -1,0 +1,53 @@
+package dp
+
+import (
+	"testing"
+
+	"htdp/internal/randx"
+)
+
+// TestExponentialL1BallMatchesLazy: the one-pass ℓ1-ball scorer must
+// reproduce ExponentialLazy over the implicit vertex scores exactly —
+// same candidate order, same Gumbel draws, same tie-breaking — for
+// noisy and degenerate (zero-sensitivity) budgets.
+func TestExponentialL1BallMatchesLazy(t *testing.T) {
+	r := randx.New(1)
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + r.Intn(40)
+		g := r.NormalVec(make([]float64, d), 2)
+		radius := r.Uniform(0.1, 3)
+		for _, sens := range []float64{0, 0.01, 1} {
+			seed := int64(trial*10) + 7
+			score := func(i int) float64 {
+				if i < d {
+					return -radius * g[i]
+				}
+				return radius * g[i-d]
+			}
+			want := ExponentialLazy(randx.New(seed), 2*d, score, sens, 1)
+			got := ExponentialL1Ball(randx.New(seed), g, radius, sens, 1)
+			if got != want {
+				t.Fatalf("d=%d sens=%v: ExponentialL1Ball = %d, ExponentialLazy = %d", d, sens, got, want)
+			}
+		}
+	}
+}
+
+// TestExponentialL1BallValidation mirrors ExponentialLazy's contract.
+func TestExponentialL1BallValidation(t *testing.T) {
+	r := randx.New(2)
+	for name, f := range map[string]func(){
+		"empty":        func() { ExponentialL1Ball(r, nil, 1, 0.1, 1) },
+		"negative Δ":   func() { ExponentialL1Ball(r, []float64{1}, 1, -1, 1) },
+		"non-positive": func() { ExponentialL1Ball(r, []float64{1}, 1, 0.1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

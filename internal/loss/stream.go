@@ -60,6 +60,47 @@ func ExcessRiskSource(l Loss, w, ref []float64, src data.Source, workers int) (f
 // (1/n)·Σᵢ ∇ℓ(w, (xᵢ, yᵢ)) over the source into dst (allocated when
 // nil) and returns it, streaming one chunk at a time.
 func FullGradientSource(l Loss, dst, w []float64, src data.Source, workers int) ([]float64, error) {
+	return FullGradientSourceWS(l, dst, w, src, workers, nil)
+}
+
+// GradWorkspace is the reusable scratch of FullGradientSourceWS: the
+// margin/scale buffers of the fused path, the per-chunk partial, the
+// per-shard reduction buffers of the generic path, and the cached loop
+// closures. One workspace per run per goroutine; reusing it across a
+// loop's iterations eliminates the per-iteration allocations of the
+// full-gradient baselines.
+type GradWorkspace struct {
+	// Mat serves the fused path's blocked X·w and Xᵀc products.
+	Mat vecmath.MatWorkspace
+
+	margins, scales, part []float64
+
+	red      parallel.VecReducer
+	bufsPool parallel.ShardBufs
+	bufs     [][]float64
+
+	l    Loss
+	w    []float64
+	ck   *data.Dataset
+	body func(shard, lo, hi int)
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// FullGradientSourceWS is FullGradientSource with a reusable workspace
+// (nil behaves like FullGradientSource). Margin-factorized losses
+// without a regularization term take the fused path — one blocked X·w
+// product for the margins, one scalar pass for the gradient scales, one
+// blocked Xᵀc product for the chunk gradient — instead of materializing
+// n gradient rows; the result is bit-identical (the per-shard,
+// per-coordinate accumulation chains are unchanged, see
+// loss.MarginLoss).
+func FullGradientSourceWS(l Loss, dst, w []float64, src data.Source, workers int, ws *GradWorkspace) ([]float64, error) {
 	if dst == nil {
 		dst = make([]float64, src.D())
 	}
@@ -68,15 +109,29 @@ func FullGradientSource(l Loss, dst, w []float64, src data.Source, workers int) 
 	if n < 1 {
 		return dst, nil
 	}
-	part := make([]float64, len(dst))
+	if ws == nil {
+		ws = &GradWorkspace{}
+	}
+	ml, fused := AsMargin(l)
+	if fused && ml.RegCoeff() != 0 {
+		// The λ·w term is folded into every per-sample row by the unfused
+		// path; summing it separately would change the addition order, so
+		// regularized losses keep the row-at-a-time path for bit-identity.
+		fused = false
+	}
+	ws.part = growFloats(ws.part, len(dst))
+	part := ws.part
 	err := data.EachChunk(src, data.StreamChunks(n), func(_ int, ck *data.Dataset) error {
-		parallel.ReduceVec(workers, ck.N(), part, func(acc []float64, _, lo, hi int) {
-			buf := make([]float64, len(acc))
-			for i := lo; i < hi; i++ {
-				l.Grad(buf, w, ck.X.Row(i), ck.Y[i])
-				vecmath.Axpy(1, buf, acc)
-			}
-		})
+		m := ck.N()
+		if fused {
+			margins := ws.Mat.MatVec(growFloats(ws.margins, m), ck.X, w, workers)
+			ws.margins = margins
+			ws.scales = growFloats(ws.scales, m)
+			ScalesFromMargins(ml, ws.scales, margins, ck.Y)
+			ws.Mat.MatTVec(part, ck.X, ws.scales, workers)
+		} else {
+			ws.reduceGrad(part, l, w, ck, workers)
+		}
 		vecmath.Axpy(1, part, dst)
 		return nil
 	})
@@ -85,4 +140,37 @@ func FullGradientSource(l Loss, dst, w []float64, src data.Source, workers int) 
 	}
 	vecmath.Scale(dst, 1/float64(n))
 	return dst, nil
+}
+
+// reduceGrad is the generic per-sample gradient sum over one chunk:
+// parallel.ReduceVec semantics with pooled shard partials and scratch
+// rows and a cached body closure.
+func (ws *GradWorkspace) reduceGrad(dst []float64, l Loss, w []float64, ck *data.Dataset, workers int) {
+	m := ck.N()
+	if m <= 0 {
+		vecmath.Zero(dst)
+		return
+	}
+	k := parallel.NumShards(m)
+	ws.red.Setup(k, dst)
+	ws.bufs = ws.bufsPool.Get(k, len(dst))
+	ws.l, ws.w, ws.ck = l, w, ck
+	if ws.body == nil {
+		ws.body = func(shard, lo, hi int) {
+			l, w, ck := ws.l, ws.w, ws.ck
+			acc := ws.red.Accs()[shard]
+			if shard > 0 {
+				vecmath.Zero(acc)
+			}
+			buf := ws.bufs[shard]
+			vecmath.Zero(buf)
+			for i := lo; i < hi; i++ {
+				l.Grad(buf, w, ck.X.Row(i), ck.Y[i])
+				vecmath.Axpy(1, buf, acc)
+			}
+		}
+	}
+	parallel.For(workers, m, ws.body)
+	ws.red.Merge(dst)
+	ws.l, ws.w, ws.ck = nil, nil, nil
 }

@@ -188,16 +188,109 @@ func ReduceFloat(workers, n int, body func(shard, lo, hi int) float64) float64 {
 	return sum
 }
 
+// ShardBufs is a grow-only pool of per-shard float slices — the
+// backing store of every reusable reduction workspace (vecmath, robust,
+// core). Get sizes the pool once and then recycles it, so steady-state
+// reductions allocate nothing. Contents are stale across calls; callers
+// zero what they need, mirroring ReduceVec's fresh allocations.
+type ShardBufs struct {
+	bufs [][]float64
+}
+
+// Get returns k slices of length d. Slices keep their identity across
+// calls (only growing reallocates), so cached closures may index the
+// returned pool through their workspace.
+func (p *ShardBufs) Get(k, d int) [][]float64 {
+	for len(p.bufs) < k {
+		p.bufs = append(p.bufs, nil)
+	}
+	for s := 0; s < k; s++ {
+		if cap(p.bufs[s]) < d {
+			p.bufs[s] = make([]float64, d)
+		}
+		p.bufs[s] = p.bufs[s][:d]
+	}
+	return p.bufs[:k]
+}
+
+// VecReducer owns the accumulator layout of a workspace vector
+// reduction — the reusable counterpart of ReduceVec's allocation
+// pattern, shared by every workspace (vecmath, robust, loss, core) so
+// the determinism-critical conventions live in exactly one place:
+//
+//   - Setup zeroes dst and returns k accumulators with accs[0] = dst
+//     and accs[1:] pooled (stale contents — the caller's shard body
+//     must zero its accumulator when shard > 0, matching ReduceVec's
+//     fresh allocations);
+//   - Merge folds accs[1:] into dst strictly in shard order.
+//
+// The caller supplies its own cached body closure (bodies differ per
+// kernel) and reads the accumulators through Accs, so the closure can
+// be built once and reused.
+type VecReducer struct {
+	accs [][]float64
+	pool ShardBufs
+}
+
+// Setup prepares k accumulators of length len(dst) for one reduction,
+// zeroing dst (the shard-0 accumulator) first.
+func (r *VecReducer) Setup(k int, dst []float64) [][]float64 {
+	for j := range dst {
+		dst[j] = 0
+	}
+	if cap(r.accs) < k {
+		r.accs = make([][]float64, k)
+	}
+	r.accs = r.accs[:k]
+	r.accs[0] = dst
+	if k > 1 {
+		pooled := r.pool.Get(k-1, len(dst))
+		for s := 1; s < k; s++ {
+			r.accs[s] = pooled[s-1]
+		}
+	}
+	return r.accs
+}
+
+// Accs returns the accumulators of the reduction in flight (indexed by
+// shard); cached body closures read them through this method.
+func (r *VecReducer) Accs() [][]float64 { return r.accs }
+
+// Merge folds the per-shard partials into dst in shard order — the
+// ReduceVec merge, verbatim.
+func (r *VecReducer) Merge(dst []float64) {
+	for s := 1; s < len(r.accs); s++ {
+		from := r.accs[s]
+		for j := range dst {
+			dst[j] += from[j]
+		}
+	}
+}
+
 // SplitRNGs derives one independent child stream per shard of [0, n) by
 // splitting r sequentially in shard order. The draw sequence each shard
 // sees is therefore a function of (parent state, n) only — never of the
 // worker count or scheduling — which is what keeps randomized sharded
 // scans (Peeling's noisy argmax) deterministic under parallelism.
 func SplitRNGs(r *randx.RNG, n int) []*randx.RNG {
+	return SplitRNGsInto(nil, r, n)
+}
+
+// SplitRNGsInto is SplitRNGs with a reusable destination: the children
+// in dst are re-seeded in place (allocating only when dst is too short
+// or holds nils), so a workspace that keeps the returned slice pays no
+// allocations after warm-up. The child streams are bit-identical to
+// SplitRNGs from the same parent state.
+func SplitRNGsInto(dst []*randx.RNG, r *randx.RNG, n int) []*randx.RNG {
 	k := NumShards(n)
-	rngs := make([]*randx.RNG, k)
-	for s := range rngs {
-		rngs[s] = r.Split()
+	if cap(dst) < k {
+		grown := make([]*randx.RNG, k)
+		copy(grown, dst)
+		dst = grown
 	}
-	return rngs
+	dst = dst[:k]
+	for s := range dst {
+		dst[s] = r.SplitInto(dst[s])
+	}
+	return dst
 }

@@ -1,0 +1,51 @@
+package randx
+
+import "testing"
+
+// TestReseedReplaysFreshStream: a re-seeded RNG must replay exactly the
+// stream a freshly constructed RNG produces — the property that lets
+// the iteration workspaces recycle RNG children without allocating.
+func TestReseedReplaysFreshStream(t *testing.T) {
+	r := New(99)
+	for _, seed := range []int64{1, -7, 123456789} {
+		fresh := New(seed)
+		r.Reseed(seed)
+		for i := 0; i < 200; i++ {
+			if a, b := r.Float64(), fresh.Float64(); a != b {
+				t.Fatalf("seed %d draw %d: reseeded %v != fresh %v", seed, i, a, b)
+			}
+		}
+		// Mixed draw kinds must agree too (Laplace consumes uniforms,
+		// Normal consumes the polar cache).
+		fresh = New(seed)
+		r.Reseed(seed)
+		for i := 0; i < 50; i++ {
+			if a, b := r.Normal(), fresh.Normal(); a != b {
+				t.Fatalf("seed %d normal %d: %v != %v", seed, i, a, b)
+			}
+			if a, b := r.Laplace(1.5), fresh.Laplace(1.5); a != b {
+				t.Fatalf("seed %d laplace %d: %v != %v", seed, i, a, b)
+			}
+		}
+	}
+}
+
+// TestSplitIntoMatchesSplit: SplitInto must advance the parent
+// identically to Split and hand the child the same stream.
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	pa, pb := New(5), New(5)
+	var recycled *RNG
+	for round := 0; round < 10; round++ {
+		want := pa.Split()
+		recycled = pb.SplitInto(recycled)
+		for i := 0; i < 50; i++ {
+			if a, b := want.Float64(), recycled.Float64(); a != b {
+				t.Fatalf("round %d draw %d: split %v != splitinto %v", round, i, a, b)
+			}
+		}
+		// Parents must stay in lockstep.
+		if a, b := pa.Float64(), pb.Float64(); a != b {
+			t.Fatalf("round %d: parents diverged (%v != %v)", round, a, b)
+		}
+	}
+}

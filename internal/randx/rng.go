@@ -34,6 +34,25 @@ func (r *RNG) Split() *RNG {
 	return New(r.src.Int63())
 }
 
+// SplitInto re-seeds child in place to the stream Split would have
+// returned, without allocating: child.SplitInto-after-warm-up is the
+// zero-allocation Split used by the reusable iteration workspaces. A
+// nil child allocates once (the warm-up path).
+func (r *RNG) SplitInto(child *RNG) *RNG {
+	seed := r.src.Int63()
+	if child == nil {
+		return New(seed)
+	}
+	child.Reseed(seed)
+	return child
+}
+
+// Reseed resets the RNG in place to the state New(seed) would start
+// from, so a pooled RNG can be recycled without allocating.
+func (r *RNG) Reseed(seed int64) {
+	r.src.Seed(seed)
+}
+
 // Float64 returns a uniform variate in [0,1).
 func (r *RNG) Float64() float64 { return r.src.Float64() }
 

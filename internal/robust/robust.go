@@ -218,16 +218,19 @@ func (e MeanEstimator) EstimateVec(dst []float64, rows [][]float64) []float64 {
 		}
 	}
 	inv := 1 / float64(len(rows))
+	kern := e.kernel()
 	// Shard the coordinate range [0, d): every worker owns dst[lo:hi]
 	// outright and accumulates samples in row order, so the result is
 	// bit-identical to the sequential double loop at any worker count.
+	// kern.term is Term with the per-estimator constants hoisted out of
+	// the m·d inner loop (bit-identical; see fused.go).
 	parallel.For(e.Parallelism, d, func(_, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			dst[j] = 0
 		}
 		for _, row := range rows {
 			for j := lo; j < hi; j++ {
-				dst[j] += e.Term(row[j])
+				dst[j] += kern.term(row[j])
 			}
 		}
 		for j := lo; j < hi; j++ {
@@ -247,23 +250,7 @@ func (e MeanEstimator) EstimateVec(dst []float64, rows [][]float64) []float64 {
 // in shard order; the shard structure depends only on n, so the output
 // is bit-identical for every worker count.
 func (e MeanEstimator) EstimateFunc(dst []float64, n int, grad func(i int, buf []float64)) []float64 {
-	if n <= 0 {
-		panic("robust: EstimateFunc needs n > 0")
-	}
-	parallel.ReduceVec(e.Parallelism, n, dst, func(acc []float64, _, lo, hi int) {
-		buf := make([]float64, len(acc))
-		for i := lo; i < hi; i++ {
-			grad(i, buf)
-			for j, x := range buf {
-				acc[j] += e.Term(x)
-			}
-		}
-	})
-	inv := 1 / float64(n)
-	for j := range dst {
-		dst[j] *= inv
-	}
-	return dst
+	return e.EstimateFuncWS(dst, n, nil, grad)
 }
 
 // Shrink returns sign(x)·min(|x|, k): the entry-wise shrinkage that

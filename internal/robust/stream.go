@@ -1,6 +1,6 @@
 package robust
 
-import "htdp/internal/parallel"
+import "htdp/internal/vecmath"
 
 // StreamMean accumulates the coordinate-wise robust mean estimator
 // ˆx(s, β) over sample blocks delivered sequentially, so the estimate
@@ -14,18 +14,27 @@ import "htdp/internal/parallel"
 // bit-identical for every worker count and every source backend that
 // delivers the same blocks — but it is a different (fixed) summation
 // order than one EstimateFunc call over the concatenated samples.
+//
+// The accumulator owns a reusable Workspace, so Add and AddChunk
+// allocate nothing once warm: full-data passes that stream every
+// iteration (FullDataFW, SparseMean) produce no per-iteration garbage.
 type StreamMean struct {
 	est   MeanEstimator
 	sums  []float64
 	block []float64
 	n     int
+	ws    *Workspace
 }
 
 // NewStream returns a d-dimensional streaming accumulator for the
 // estimator (workers come from e.Parallelism, resolved per block).
 func (e MeanEstimator) NewStream(d int) *StreamMean {
-	return &StreamMean{est: e, sums: make([]float64, d), block: make([]float64, d)}
+	return &StreamMean{est: e, sums: make([]float64, d), block: make([]float64, d), ws: NewWorkspace()}
 }
+
+// Workspace exposes the accumulator's reusable scratch so callers can
+// stage margins and scales for AddChunk without buffers of their own.
+func (s *StreamMean) Workspace() *Workspace { return s.ws }
 
 // Reset clears the accumulator for reuse (e.g. the next iteration's
 // gradient).
@@ -43,15 +52,27 @@ func (s *StreamMean) Add(m int, grad func(i int, buf []float64)) {
 	if m < 1 {
 		return
 	}
-	parallel.ReduceVec(s.est.Parallelism, m, s.block, func(acc []float64, _, lo, hi int) {
-		buf := make([]float64, len(acc))
-		for i := lo; i < hi; i++ {
-			grad(i, buf)
-			for j, x := range buf {
-				acc[j] += s.est.Term(x)
-			}
-		}
-	})
+	s.ws.accumulateFunc(s.est, s.block, m, grad)
+	for j, v := range s.block {
+		s.sums[j] += v
+	}
+	s.n += m
+}
+
+// AddChunk accumulates one block through the fused margin kernel:
+// sample i's gradient is scales[i]·xᵢ + reg·w (see loss.MarginLoss),
+// so the block's contribution is computed straight from the data rows
+// with no gradient materialization — bit-identical to Add over the same
+// gradients, with zero allocations once the workspace is warm.
+func (s *StreamMean) AddChunk(x *vecmath.Mat, scales []float64, reg float64, w []float64) {
+	m := x.Rows
+	if m < 1 {
+		return
+	}
+	if len(scales) != m {
+		panic("robust: AddChunk scales length mismatch")
+	}
+	s.ws.accumulateChunk(s.est, s.block, x, scales, reg, w)
 	for j, v := range s.block {
 		s.sums[j] += v
 	}
