@@ -2,7 +2,8 @@
 // (Figures 1–11), the Theorem 9 lower-bound check, and the ablations,
 // as text tables or CSV. It can also stream a numeric CSV out of core
 // and run one of the paper's algorithms on it with peak memory bounded
-// by a single chunk instead of the full n×d matrix.
+// by a single chunk instead of the full n×d matrix, or serve the whole
+// surface as a concurrent HTTP JSON API (see API.md).
 //
 // Usage:
 //
@@ -15,6 +16,9 @@
 //	htdp -stream big.csv -algo lasso          # out-of-core LASSO
 //	htdp -run streaming -stream big.csv       # the streaming sweep on a CSV
 //
+//	htdp -serve :8080                         # the estimation service
+//	htdp -serve :8080 -dataset year=year.csv  # ... with a pooled CSV
+//
 // Performance tooling:
 //
 //	htdp -benchjson BENCH_new.json                 # record the perf trajectory
@@ -26,21 +30,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"htdp/internal/benchio"
-	"htdp/internal/core"
 	"htdp/internal/data"
 	"htdp/internal/experiments"
-	"htdp/internal/loss"
-	"htdp/internal/polytope"
 	"htdp/internal/randx"
-	"htdp/internal/vecmath"
+	"htdp/internal/serve"
 )
 
 func main() {
@@ -57,7 +60,7 @@ func run(args []string, stdout io.Writer) error {
 		runID  = fs.String("run", "", "experiment ID to run, or \"all\"")
 		reps   = fs.Int("reps", 5, "trials averaged per point (paper: 20)")
 		scale  = fs.Float64("scale", 0.1, "sample-size scale relative to the paper (paper: 1)")
-		seed   = fs.Int64("seed", 1, "base random seed")
+		seed   = fs.Int64("seed", 1, "base random seed (0 is treated as 1, in every mode)")
 		par    = fs.Int("parallel", 0, "trial-level worker count (0 = all cores, 1 = sequential); results are identical at any setting")
 		csv    = fs.Bool("csv", false, "emit CSV instead of tables")
 		shapes = fs.Bool("shapes", false, "append a qualitative shape report per experiment")
@@ -72,15 +75,28 @@ func run(args []string, stdout io.Writer) error {
 		benchfilter = fs.String("benchfilter", "", "regexp selecting benchio benchmarks (default: all)")
 		benchrounds = fs.Int("benchrounds", 3, "timing rounds per benchmark; the fastest round is kept")
 
-		stream   = fs.String("stream", "", "stream this numeric CSV out of core (peak memory: one chunk, not n×d); runs -algo on it, or feeds -run streaming")
+		stream   = fs.String("stream", "", "stream this numeric CSV out of core (peak memory: one chunk, not n×d); runs -algo on it, feeds -run streaming, or joins the -serve pool")
 		algo     = fs.String("algo", "fw", "algorithm for -stream: fw, lasso, iht, or sparseopt")
-		eps      = fs.Float64("eps", 1, "privacy budget ε for -stream")
+		eps      = fs.Float64("eps", 1, "privacy budget ε for -stream (0 is treated as 1)")
 		delta    = fs.Float64("delta", 0, "privacy δ for -stream (0 → n^-1.1)")
 		iters    = fs.Int("T", 0, "iteration count for -stream (0 → each algorithm's theory default)")
 		sstar    = fs.Int("sstar", 10, "target sparsity s* for -algo iht/sparseopt")
 		labelCol = fs.Int("labelcol", -1, "label column of the -stream CSV (negative counts from the end)")
 		header   = fs.Bool("header", false, "the -stream CSV has a header row")
+
+		serveAddr = fs.String("serve", "", "serve the HTTP JSON API on this address (e.g. :8080); see API.md")
+		workers   = fs.Int("workers", 0, "-serve job workers (0 = all cores)")
+		queue     = fs.Int("queue", 0, "-serve job queue depth (0 = 64); beyond it requests get 503")
+		cachesize = fs.Int("cachesize", 0, "-serve result cache entries (0 = 256)")
 	)
+	var datasets []string
+	fs.Func("dataset", "register name=path.csv in the -serve pool (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want name=path.csv, got %q", v)
+		}
+		datasets = append(datasets, v)
+		return nil
+	})
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +143,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *benchcmp != "" {
 		return fmt.Errorf("-benchcmp needs -benchjson (record a fresh report to gate)")
+	}
+
+	if *serveAddr != "" {
+		pool, err := buildServePool(*stream, datasets, *labelCol, *header)
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		return runServe(w, *serveAddr, pool, serve.Options{
+			Workers: *workers, QueueDepth: *queue, CacheSize: *cachesize,
+		})
 	}
 
 	if *stream != "" && *runID == "" && !*list {
@@ -240,7 +267,9 @@ type streamOpts struct {
 }
 
 // runStream opens the CSV as an out-of-core source and runs one
-// algorithm on it. Peak residency is one chunk — n/T rows for the
+// algorithm on it via the exact dispatch the serving layer uses
+// (serve.ExecuteRun), so batch and served results are bit-identical by
+// construction. Peak residency is one chunk — n/T rows for the
 // disjoint-chunk algorithms (fw, iht, sparseopt), StreamRows for the
 // per-iteration full-data passes (lasso and the risk evaluation) —
 // plus the 8-bytes-per-row offset index, never the n×d matrix.
@@ -256,56 +285,79 @@ func runStream(w io.Writer, o streamOpts) error {
 	fmt.Fprintf(w, "streaming %s: n=%d d=%d (%.1f MB if materialized; row-offset index %.1f MB)\n",
 		o.path, n, d, fullMB, float64(8*n)/(1<<20))
 
-	if o.delta == 0 {
-		o.delta = deltaForN(n)
-	}
-	rng := randx.New(o.seed)
-	var wOut []float64
-	switch o.algo {
-	case "fw":
-		wOut, err = core.FrankWolfeSource(src, core.FWOptions{
-			Loss: loss.Squared{}, Domain: polytope.NewL1Ball(d, 1),
-			Eps: o.eps, T: o.T, Parallelism: o.parallel, Rng: rng,
-		})
-	case "lasso":
-		wOut, err = core.LassoSource(src, core.LassoOptions{
-			Eps: o.eps, Delta: o.delta, T: o.T, Parallelism: o.parallel, Rng: rng,
-		})
-	case "iht":
-		wOut, err = core.SparseLinRegSource(src, core.SparseLinRegOptions{
-			Eps: o.eps, Delta: o.delta, SStar: o.sstar, T: o.T,
-			Parallelism: o.parallel, Rng: rng,
-		})
-	case "sparseopt":
-		wOut, err = core.SparseOptSource(src, core.SparseOptOptions{
-			Loss: loss.Squared{}, Eps: o.eps, Delta: o.delta, SStar: o.sstar, T: o.T,
-			Parallelism: o.parallel, Rng: rng,
-		})
-	default:
-		return fmt.Errorf("unknown -algo %q (have fw, lasso, iht, sparseopt)", o.algo)
-	}
-	if err != nil {
-		return err
-	}
-
-	risk, err := loss.EmpiricalSource(loss.Squared{}, wOut, src, o.parallel)
-	if err != nil {
-		return err
-	}
-	risk0, err := loss.EmpiricalSource(loss.Squared{}, make([]float64, d), src, o.parallel)
+	res, err := serve.ExecuteRun(src, serve.RunRequest{
+		Dataset: filepath.Base(o.path), Algo: o.algo,
+		Eps: o.eps, Delta: o.delta, T: o.T, SStar: o.sstar,
+		Seed: o.seed, Parallelism: o.parallel,
+	})
 	if err != nil {
 		return err
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	fmt.Fprintf(w, "algo=%s eps=%g delta=%.3g seed=%d: risk(ŵ)=%.6g risk(0)=%.6g ‖ŵ‖₁=%.4g nnz=%d\n",
-		o.algo, o.eps, o.delta, o.seed, risk, risk0, vecmath.Norm1(wOut), vecmath.Norm0(wOut))
+		res.Algo, res.Eps, res.Delta, res.Seed, res.Risk, res.RiskZero, res.Norm1, res.NNZ)
 	fmt.Fprintf(w, "done in %.1fs; go heap in use %.1f MB (chunk-bounded, not n×d)\n",
 		time.Since(start).Seconds(), float64(ms.HeapInuse)/(1<<20))
 	return nil
 }
 
-// deltaForN mirrors the experiments' §6.2 choice δ = n^{−1.1}.
-func deltaForN(n int) float64 {
-	return math.Pow(float64(n), -1.1)
+// buildServePool assembles the -serve dataset pool: two built-in
+// generator-backed demo datasets (so a bare `htdp -serve :8080` answers
+// requests immediately), the -stream CSV under its basename, and every
+// -dataset name=path CSV. CSV entries are indexed once here; requests
+// share the index through per-request Reopen handles.
+func buildServePool(streamPath string, datasets []string, labelCol int, header bool) (*data.SourcePool, error) {
+	pool := data.NewSourcePool()
+	if _, err := pool.RegisterGen("demo-linear", demoLinearSource()); err != nil {
+		return nil, err
+	}
+	if _, err := pool.RegisterGen("demo-logistic", data.LogisticSource(2, data.LogisticOpt{
+		N: 2000, D: 100,
+		Feature: randx.LogNormal{Mu: 0, Sigma: 0.8},
+	})); err != nil {
+		return nil, err
+	}
+	if streamPath != "" {
+		datasets = append(datasets, filepath.Base(streamPath)+"="+streamPath)
+	}
+	for _, spec := range datasets {
+		name, path, _ := strings.Cut(spec, "=")
+		if name == "" || path == "" {
+			pool.Close()
+			return nil, fmt.Errorf("-dataset %q: want name=path.csv", spec)
+		}
+		if _, err := pool.RegisterCSV(name, path, labelCol, header); err != nil {
+			pool.Close()
+			return nil, err
+		}
+	}
+	return pool, nil
+}
+
+// demoLinearSource is the built-in linear demo dataset — also the
+// subject of the CI server smoke test, so its spec is pinned.
+func demoLinearSource() *data.GenSource {
+	return data.LinearSource(1, data.LinearOpt{
+		N: 2000, D: 100,
+		Feature: randx.LogNormal{Mu: 0, Sigma: 0.8},
+		Noise:   randx.Normal{Mu: 0, Sigma: 0.3},
+	})
+}
+
+// runServe starts the estimation service and blocks until the listener
+// fails (or forever). The pool, scheduler sizing, cache, endpoints, and
+// the determinism/caching contract are documented in API.md.
+func runServe(w io.Writer, addr string, pool *data.SourcePool, opt serve.Options) error {
+	srv := serve.New(pool, opt)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	for _, e := range pool.List() {
+		fmt.Fprintf(w, "pooled dataset %-16s kind=%-4s n=%-8d d=%d\n", e.Name, e.Kind, e.N, e.D)
+	}
+	fmt.Fprintf(w, "htdp serving on http://%s (see API.md; GET /healthz, /metrics)\n", ln.Addr())
+	return http.Serve(ln, srv)
 }

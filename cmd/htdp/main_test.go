@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +14,12 @@ import (
 	"htdp/internal/benchio"
 	"htdp/internal/data"
 	"htdp/internal/randx"
+	"htdp/internal/serve"
 )
+
+// -update regenerates the serve smoke goldens (testdata/*_golden.json)
+// from the live server instead of asserting against them.
+var updateGolden = flag.Bool("update", false, "rewrite serve smoke goldens")
 
 func TestList(t *testing.T) {
 	var buf bytes.Buffer
@@ -133,6 +142,133 @@ func TestStreamFeedsStreamingExperiment(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "config.source") || !strings.Contains(out, "dpfw-stream") {
 		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+// smokeServer is the exact server `htdp -serve` runs with no extra
+// flags: the built-in demo pool, default sizing.
+func smokeServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	pool, err := buildServePool("", nil, -1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(pool, serve.Options{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		pool.Close()
+	})
+	return ts
+}
+
+// TestServeSmokeGolden replays the CI server smoke step in-process:
+// GET /healthz and one POST /v1/run on the built-in demo-linear
+// dataset must match the committed goldens byte for byte (results are
+// deterministic in the request, so the goldens pin them), and the
+// repeated run must be served from cache with identical bytes. The CI
+// step curls a real `htdp -serve` process against the same files.
+func TestServeSmokeGolden(t *testing.T) {
+	ts := smokeServer(t)
+
+	hres, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, _ := io.ReadAll(hres.Body)
+	hres.Body.Close()
+
+	reqBody, err := os.ReadFile(filepath.Join("testdata", "serve_run_request.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() (http.Header, []byte) {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("run = %d %q", resp.StatusCode, body)
+		}
+		return resp.Header, body
+	}
+	hdr, runOut := post()
+	if hdr.Get("X-Htdp-Cache") != "miss" {
+		t.Fatalf("first run cache = %q", hdr.Get("X-Htdp-Cache"))
+	}
+
+	healthGolden := filepath.Join("testdata", "healthz_golden.json")
+	runGolden := filepath.Join("testdata", "serve_run_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(healthGolden, health, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(runGolden, runOut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s and %s", healthGolden, runGolden)
+	}
+	wantHealth, err := os.ReadFile(healthGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(health, wantHealth) {
+		t.Errorf("healthz drifted from golden:\n got %q\nwant %q", health, wantHealth)
+	}
+	wantRun, err := os.ReadFile(runGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(runOut, wantRun) {
+		t.Errorf("run response drifted from golden (regenerate with -update if intended):\n got %q\nwant %q", runOut, wantRun)
+	}
+
+	hdr, runOut2 := post()
+	if hdr.Get("X-Htdp-Cache") != "hit" {
+		t.Fatalf("repeat run cache = %q, want hit", hdr.Get("X-Htdp-Cache"))
+	}
+	if !bytes.Equal(runOut2, runOut) {
+		t.Fatal("cached bytes differ from computed bytes")
+	}
+}
+
+func TestBuildServePool(t *testing.T) {
+	path := writeStreamCSV(t, 60, 4)
+	pool, err := buildServePool(path, []string{"extra=" + path}, -1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	names := map[string]bool{}
+	for _, e := range pool.List() {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"demo-linear", "demo-logistic", "extra", filepath.Base(path)} {
+		if !names[want] {
+			t.Errorf("pool missing %q (have %v)", want, names)
+		}
+	}
+	if _, err := buildServePool("", []string{"=nope"}, -1, false); err == nil {
+		t.Error("empty dataset name: expected error")
+	}
+	if _, err := buildServePool("", []string{"x=" + filepath.Join(t.TempDir(), "gone.csv")}, -1, false); err == nil {
+		t.Error("missing dataset file: expected error")
+	}
+}
+
+func TestServeFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-serve", "127.0.0.1:999999"}, &buf); err == nil {
+		t.Fatal("bad listen address: expected error")
+	}
+	if err := run([]string{"-serve", ":0", "-dataset", "nope"}, &buf); err == nil {
+		t.Fatal("malformed -dataset: expected error")
 	}
 }
 

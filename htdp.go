@@ -22,7 +22,10 @@
 //
 // Baselines (NonprivateFW, NonprivateIHT, TalwarDPFW, DPGD,
 // RobustGaussianGD), the data generators of §6.1, and the experiment
-// registry reproducing Figures 1–11 are exported alongside.
+// registry reproducing Figures 1–11 (documented entry by entry in
+// EXPERIMENTS.md) are exported alongside, as is the estimation service
+// (NewServer over a NewSourcePool; HTTP surface in API.md) that serves
+// all of it concurrently with bit-identical, cacheable results.
 //
 // Every algorithm's per-coordinate hot path runs on a sharded worker
 // pool (internal/parallel). The Parallelism field on each option struct
@@ -60,6 +63,7 @@ import (
 	"htdp/internal/polytope"
 	"htdp/internal/randx"
 	"htdp/internal/robust"
+	"htdp/internal/serve"
 	"htdp/internal/vecmath"
 )
 
@@ -462,6 +466,52 @@ func Experiments() []ExperimentSpec { return experiments.Registry() }
 
 // LookupExperiment finds an experiment by ID (e.g. "fig7").
 func LookupExperiment(id string) (ExperimentSpec, error) { return experiments.Lookup(id) }
+
+// The estimation service (internal/serve) and its pooled data layer
+// (internal/data). See API.md for the HTTP surface and DESIGN.md,
+// "Serving", for the architecture.
+type (
+	// SourcePool is the concurrency-safe registry of named datasets that
+	// hands out per-request Source handles over shared immutable state.
+	SourcePool = data.SourcePool
+	// PoolEntry describes one registered pool dataset.
+	PoolEntry = data.PoolEntry
+	// Server is the HTTP handler of the estimation service; mount it on
+	// any http.Server.
+	Server = serve.Server
+	// ServeOptions sizes the service (workers, queue depth, cache).
+	ServeOptions = serve.Options
+	// RunRequest is the body of POST /v1/run — and the parameter set of
+	// ExecuteRun.
+	RunRequest = serve.RunRequest
+	// RunResult is the response of POST /v1/run.
+	RunResult = serve.RunResult
+	// JobStatus is the JSON shape of one async job.
+	JobStatus = serve.JobStatus
+	// SweepRequest is the body of POST /v1/sweep: one experiment
+	// registry sweep, runnable by request.
+	SweepRequest = experiments.SweepRequest
+)
+
+// NewSourcePool returns an empty dataset pool.
+func NewSourcePool() *SourcePool { return data.NewSourcePool() }
+
+// NewServer builds the estimation service over an already-populated
+// pool; the caller keeps pool ownership and must Close the server to
+// drain its scheduler.
+func NewServer(pool *SourcePool, opt ServeOptions) *Server { return serve.New(pool, opt) }
+
+// ExecuteRun runs one algorithm over a source per the request — the
+// dispatch shared by POST /v1/run and cmd/htdp -stream, so served and
+// batch results are bit-identical by construction.
+func ExecuteRun(src Source, q RunRequest) (*RunResult, error) { return serve.ExecuteRun(src, q) }
+
+// RunSweep runs one experiment registry sweep per the request,
+// optionally feeding the source-streaming experiments from the given
+// per-trial factory (nil for the default generators).
+func RunSweep(q SweepRequest, src func(seed int64) (Source, error)) ([]Panel, error) {
+	return experiments.RunSweep(q, src)
+}
 
 // Rényi-DP accounting (internal/dp).
 type (

@@ -1,7 +1,12 @@
 package htdp_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"htdp"
@@ -185,5 +190,72 @@ func TestFacadeSimulatedReal(t *testing.T) {
 	ds := htdp.SimulatedReal(htdp.NewRNG(3), specs[0], 0.01)
 	if ds.D() != specs[0].D || ds.N() < 100 {
 		t.Fatalf("shape %dx%d", ds.N(), ds.D())
+	}
+}
+
+// TestFacadeServing exercises the serving re-exports end to end: pool,
+// server, one HTTP run bit-identical to the direct ExecuteRun, and a
+// request-level sweep.
+func TestFacadeServing(t *testing.T) {
+	gen := htdp.LinearSource(5, htdp.LinearOpt{
+		N: 150, D: 4,
+		Feature: htdp.LogNormal{Mu: 0, Sigma: 0.7},
+		Noise:   htdp.Normal{Mu: 0, Sigma: 0.2},
+	})
+	pool := htdp.NewSourcePool()
+	defer pool.Close()
+	if _, err := pool.RegisterGen("demo", gen); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := pool.Lookup("demo"); err != nil || e.N != 150 || e.D != 4 {
+		t.Fatalf("Lookup = %+v, %v", e, err)
+	}
+
+	srv := htdp.NewServer(pool, htdp.ServeOptions{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req := htdp.RunRequest{Dataset: "demo", Algo: "fw", Eps: 1, Seed: 2, T: 3}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	served, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("run = %d %q", resp.StatusCode, served)
+	}
+
+	direct := req
+	direct.Parallelism = 1
+	res, err := htdp.ExecuteRun(gen.Clone(), direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, append(want, '\n')) {
+		t.Fatal("served bytes differ from direct ExecuteRun")
+	}
+
+	panels, err := htdp.RunSweep(htdp.SweepRequest{Experiment: "abl-shrink-k", Reps: 1, Scale: 0.01}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 1 || len(panels[0].Series) == 0 {
+		t.Fatalf("RunSweep panels = %+v", panels)
+	}
+	if _, err := htdp.RunSweep(htdp.SweepRequest{Experiment: "fig99"}, nil); err == nil {
+		t.Fatal("unknown experiment: expected error")
 	}
 }

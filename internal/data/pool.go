@@ -1,0 +1,189 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SourcePool is a concurrency-safe registry of named datasets that
+// hands out per-request Source handles — the pooled resource layer the
+// serving plane (internal/serve) runs on. It lifts the "Sources are
+// single-goroutine" restriction to exactly where it belongs: the pool
+// itself may be shared by any number of goroutines, and every Acquire
+// returns a fresh handle whose mutable state (file descriptor, parse
+// buffers, view headers) is private to the caller, while the expensive
+// immutable state is shared by all handles:
+//
+//   - a CSV entry keeps one master CSVSource whose row-offset index is
+//     built once at registration; Acquire calls Reopen, which shares the
+//     index and opens a private file handle;
+//   - a generator entry clones the GenSource by seed: chunks are a pure
+//     function of (seed, row), so every clone replays identical bytes;
+//   - an in-memory entry serves MemSource views over one immutable
+//     matrix; handles carry only their own view headers.
+//
+// Because handles over one entry replay bit-identical chunk contents,
+// concurrent requests against a pooled dataset return bit-identical
+// results — the property that makes the serving layer's response cache
+// trivially correct (see DESIGN.md, "Serving").
+type SourcePool struct {
+	mu      sync.RWMutex
+	entries map[string]*poolEntry
+}
+
+// PoolEntry describes one registered dataset, as listed by
+// SourcePool.List and the serving layer's GET /v1/datasets.
+type PoolEntry struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "csv", "gen", or "mem"
+	N    int    `json:"n"`
+	D    int    `json:"d"`
+	Path string `json:"path,omitempty"` // csv entries only
+}
+
+type poolEntry struct {
+	info    PoolEntry
+	acquire func() (Source, error)
+	release func() error // closes shared state on Remove/Close, may be nil
+}
+
+// NewSourcePool returns an empty pool.
+func NewSourcePool() *SourcePool {
+	return &SourcePool{entries: make(map[string]*poolEntry)}
+}
+
+func (p *SourcePool) add(e *poolEntry) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.entries[e.info.Name]; ok {
+		return fmt.Errorf("data: pool entry %q already registered", e.info.Name)
+	}
+	p.entries[e.info.Name] = e
+	return nil
+}
+
+// RegisterCSV indexes the CSV file once (see OpenCSV) and registers it;
+// every Acquire shares the index and opens its own file handle via
+// Reopen. The master handle is closed when the entry is removed or the
+// pool is closed.
+func (p *SourcePool) RegisterCSV(name, path string, labelCol int, hasHeader bool) (PoolEntry, error) {
+	master, err := OpenCSV(path, name, labelCol, hasHeader)
+	if err != nil {
+		return PoolEntry{}, err
+	}
+	e := &poolEntry{
+		info:    PoolEntry{Name: name, Kind: "csv", N: master.N(), D: master.D(), Path: path},
+		acquire: func() (Source, error) { return master.Reopen() },
+		release: master.Close,
+	}
+	if err := p.add(e); err != nil {
+		master.Close()
+		return PoolEntry{}, err
+	}
+	return e.info, nil
+}
+
+// RegisterGen registers a generator-backed dataset; every Acquire
+// returns an independent clone replaying the same (seed, opt) stream.
+func (p *SourcePool) RegisterGen(name string, g *GenSource) (PoolEntry, error) {
+	if g == nil {
+		panic("data: RegisterGen nil source")
+	}
+	e := &poolEntry{
+		info:    PoolEntry{Name: name, Kind: "gen", N: g.N(), D: g.D()},
+		acquire: func() (Source, error) { return g.Clone(), nil },
+	}
+	if err := p.add(e); err != nil {
+		return PoolEntry{}, err
+	}
+	return e.info, nil
+}
+
+// RegisterMem registers an in-memory dataset; every Acquire returns a
+// fresh MemSource view over the one shared matrix. The dataset must not
+// be mutated after registration — handles alias its storage.
+func (p *SourcePool) RegisterMem(name string, ds *Dataset) (PoolEntry, error) {
+	if ds == nil {
+		panic("data: RegisterMem nil dataset")
+	}
+	e := &poolEntry{
+		info:    PoolEntry{Name: name, Kind: "mem", N: ds.N(), D: ds.D()},
+		acquire: func() (Source, error) { return NewMemSource(ds), nil },
+	}
+	if err := p.add(e); err != nil {
+		return PoolEntry{}, err
+	}
+	return e.info, nil
+}
+
+// Acquire returns a fresh single-goroutine Source handle over the named
+// dataset. The caller owns the handle and must Close it; closing a
+// handle never touches the entry's shared state.
+func (p *SourcePool) Acquire(name string) (Source, error) {
+	p.mu.RLock()
+	e, ok := p.entries[name]
+	p.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("data: pool has no dataset %q", name)
+	}
+	return e.acquire()
+}
+
+// Lookup returns the entry metadata for name without opening a handle.
+func (p *SourcePool) Lookup(name string) (PoolEntry, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	e, ok := p.entries[name]
+	if !ok {
+		return PoolEntry{}, fmt.Errorf("data: pool has no dataset %q", name)
+	}
+	return e.info, nil
+}
+
+// List returns the registered entries sorted by name.
+func (p *SourcePool) List() []PoolEntry {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]PoolEntry, 0, len(p.entries))
+	for _, e := range p.entries {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Remove unregisters the named dataset and closes its shared state.
+// Handles already acquired stay usable (a CSV handle owns its own file
+// descriptor) — Remove only stops new acquisitions.
+func (p *SourcePool) Remove(name string) error {
+	p.mu.Lock()
+	e, ok := p.entries[name]
+	delete(p.entries, name)
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("data: pool has no dataset %q", name)
+	}
+	if e.release != nil {
+		return e.release()
+	}
+	return nil
+}
+
+// Close unregisters every entry, closing all shared state. The first
+// error is returned; all entries are released regardless.
+func (p *SourcePool) Close() error {
+	p.mu.Lock()
+	entries := p.entries
+	p.entries = make(map[string]*poolEntry)
+	p.mu.Unlock()
+	var first error
+	for _, e := range entries {
+		if e.release != nil {
+			if err := e.release(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

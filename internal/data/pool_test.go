@@ -1,0 +1,177 @@
+package data
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"htdp/internal/randx"
+)
+
+func poolGen(n, d int) *GenSource {
+	return LinearSource(11, LinearOpt{
+		N: n, D: d,
+		Feature: randx.LogNormal{Mu: 0, Sigma: 0.8},
+		Noise:   randx.Normal{Mu: 0, Sigma: 0.3},
+	})
+}
+
+func poolCSVPath(t *testing.T, ds *Dataset) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pool.csv")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// chunksEqual reads chunk t of T from a source and compares it bit for
+// bit against the reference dataset's rows. It reports via Errorf so it
+// is safe to call from spawned goroutines.
+func chunksEqual(t *testing.T, src Source, ref *Dataset, ci, T int) {
+	t.Helper()
+	ck, err := src.Chunk(ci, T)
+	if err != nil {
+		t.Errorf("chunk %d/%d: %v", ci, T, err)
+		return
+	}
+	lo, hi := ChunkBounds(ci, T, ref.N())
+	for i := lo; i < hi; i++ {
+		if ck.Y[i-lo] != ref.Y[i] {
+			t.Errorf("chunk %d/%d row %d: y=%v want %v", ci, T, i, ck.Y[i-lo], ref.Y[i])
+			return
+		}
+		for j := 0; j < ref.D(); j++ {
+			if ck.X.At(i-lo, j) != ref.X.At(i, j) {
+				t.Errorf("chunk %d/%d entry (%d,%d) differs", ci, T, i, j)
+				return
+			}
+		}
+	}
+}
+
+func TestSourcePoolBackends(t *testing.T) {
+	gen := poolGen(200, 6)
+	ref := gen.Materialize()
+	path := poolCSVPath(t, ref)
+
+	p := NewSourcePool()
+	if _, err := p.RegisterGen("g", gen); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterMem("m", ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterCSV("c", path, -1, false); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	entries := p.List()
+	if len(entries) != 3 {
+		t.Fatalf("List = %d entries, want 3", len(entries))
+	}
+	for i, want := range []string{"c", "g", "m"} {
+		if entries[i].Name != want {
+			t.Fatalf("List[%d] = %q, want %q (sorted)", i, entries[i].Name, want)
+		}
+		if entries[i].N != 200 || entries[i].D != 6 {
+			t.Fatalf("List[%d] shape = (%d,%d), want (200,6)", i, entries[i].N, entries[i].D)
+		}
+	}
+	if e, err := p.Lookup("c"); err != nil || e.Kind != "csv" || e.Path != path {
+		t.Fatalf("Lookup(c) = %+v, %v", e, err)
+	}
+
+	for _, name := range []string{"g", "m", "c"} {
+		src, err := p.Acquire(name)
+		if err != nil {
+			t.Fatalf("Acquire(%s): %v", name, err)
+		}
+		for ci := 0; ci < 4; ci++ {
+			chunksEqual(t, src, ref, ci, 4)
+		}
+		if err := src.Close(); err != nil {
+			t.Fatalf("close %s handle: %v", name, err)
+		}
+	}
+}
+
+func TestSourcePoolErrors(t *testing.T) {
+	p := NewSourcePool()
+	defer p.Close()
+	if _, err := p.RegisterGen("g", poolGen(50, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterGen("g", poolGen(50, 3)); err == nil {
+		t.Fatal("duplicate registration: expected error")
+	}
+	if _, err := p.Acquire("nope"); err == nil {
+		t.Fatal("unknown dataset: expected error")
+	}
+	if _, err := p.Lookup("nope"); err == nil {
+		t.Fatal("unknown lookup: expected error")
+	}
+	if _, err := p.RegisterCSV("bad", filepath.Join(t.TempDir(), "missing.csv"), -1, false); err == nil {
+		t.Fatal("missing CSV: expected error")
+	}
+	if err := p.Remove("g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Acquire("g"); err == nil {
+		t.Fatal("removed dataset: expected error")
+	}
+	if err := p.Remove("g"); err == nil {
+		t.Fatal("double remove: expected error")
+	}
+}
+
+// TestSourcePoolConcurrentHandles is the pooled-handle race test: many
+// goroutines acquire handles over every backend of the same rows and
+// stream all chunks concurrently; every chunk must match the reference
+// bit for bit. Run under -race this also proves handles share no
+// mutable state.
+func TestSourcePoolConcurrentHandles(t *testing.T) {
+	gen := poolGen(300, 5)
+	ref := gen.Materialize()
+	path := poolCSVPath(t, ref)
+
+	p := NewSourcePool()
+	defer p.Close()
+	if _, err := p.RegisterGen("g", gen); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterMem("m", ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterCSV("c", path, -1, false); err != nil {
+		t.Fatal(err)
+	}
+
+	const perBackend = 6
+	var wg sync.WaitGroup
+	for _, name := range []string{"g", "m", "c"} {
+		for k := 0; k < perBackend; k++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				src, err := p.Acquire(name)
+				if err != nil {
+					t.Errorf("Acquire(%s): %v", name, err)
+					return
+				}
+				defer src.Close()
+				for ci := 0; ci < 5; ci++ {
+					chunksEqual(t, src, ref, ci, 5)
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+}

@@ -27,6 +27,8 @@ type RealSpec struct {
 }
 
 // RealSpecs lists the four datasets of §6.1 with the paper's sizes.
+// Figures 3–4 run on these profiles; EXPERIMENTS.md documents those
+// registry entries and the knobs each profile exposes.
 var RealSpecs = []RealSpec{
 	{Name: "blog", N: 60021, D: 281, Regression: true, TailSigma: 1.0, HeavyFrac: 0.3},
 	{Name: "twitter", N: 583249, D: 77, Regression: true, TailSigma: 1.2, HeavyFrac: 0.4},

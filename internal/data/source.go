@@ -19,7 +19,11 @@ import (
 // contents for the same underlying data, which is what keeps streamed
 // and in-memory runs bit-identical (see DESIGN.md, "Source backends").
 //
-// Sources are not safe for concurrent use; open one per goroutine.
+// Sources are not safe for concurrent use; open one per goroutine. A
+// SourcePool hands out exactly such per-goroutine handles over shared
+// immutable state (offset index, matrix, generator spec), which is how
+// the serving layer answers concurrent requests from one registered
+// dataset.
 type Source interface {
 	// N returns the total number of samples.
 	N() int
@@ -220,6 +224,15 @@ func (g *GenSource) Chunk(t, T int) (*Dataset, error) {
 
 // Close is a no-op.
 func (g *GenSource) Close() error { return nil }
+
+// Clone returns an independent handle replaying the same (seed, opt)
+// stream: chunks are a pure function of (seed, row), so a clone's
+// chunks are bit-identical to the original's. SourcePool hands one
+// clone to every request that acquires a generator-backed dataset.
+func (g *GenSource) Clone() *GenSource {
+	c := *g
+	return &c
+}
 
 // Materialize eagerly generates the full dataset — bit-identical to the
 // concatenation of Chunk(0, T)…Chunk(T−1, T) for every T.

@@ -2,8 +2,10 @@
 // (§6, Figures 1–11) plus the Theorem-9 lower-bound check and a set of
 // ablations as reproducible parameter sweeps. Each experiment returns
 // printable panels — the same series the paper plots — and the cmd/htdp
-// CLI and the repository benchmarks are thin wrappers over this
-// registry.
+// CLI, the serving layer's POST /v1/sweep, and the repository benchmarks
+// are thin wrappers over this registry. EXPERIMENTS.md documents every
+// entry: what each panel shows, the paper section it reproduces, and
+// its knobs.
 //
 // Sample sizes scale with Config.Scale so the full paper protocol
 // (Scale=1, Reps=20) and a quick laptop run (the defaults) share one
@@ -120,6 +122,92 @@ func Lookup(id string) (Spec, error) {
 		}
 	}
 	return Spec{}, fmt.Errorf("experiments: unknown experiment %q (see Registry)", id)
+}
+
+// SweepRequest is the wire-level description of one registry sweep: the
+// body of the serving layer's POST /v1/sweep and the canonical way to
+// construct a Config outside the CLI. The zero value of every optional
+// field means "use the default"; Canonical resolves them.
+type SweepRequest struct {
+	// Experiment is a registry ID ("fig1", "abl-shrink-k", "streaming", …).
+	Experiment string `json:"experiment"`
+	// Reps is the trials averaged per point (default 5; paper 20).
+	Reps int `json:"reps,omitempty"`
+	// Scale multiplies every sample size relative to the paper's
+	// (default 0.1; paper 1).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed is the base seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Dataset optionally names a pooled dataset for the source-streaming
+	// experiments; the serving layer resolves it to a Source factory.
+	// Experiments that generate their data ignore it.
+	Dataset string `json:"dataset,omitempty"`
+	// Parallelism is the trial-level worker count (0 = all cores). It
+	// trades wall-clock only — results are bit-identical at every
+	// setting — so caches must exclude it from keys.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Async requests a job handle instead of a blocking response; like
+	// Parallelism it never changes result bytes.
+	Async bool `json:"async,omitempty"`
+}
+
+// Canonical validates the request and resolves every defaulted
+// result-relevant field to its effective value, zeroing the
+// scheduling-only fields (Parallelism, Async). Equal requests therefore
+// have equal canonical forms — the property response caches key on. It
+// mirrors Config.withDefaults but returns errors instead of panicking,
+// so a malformed request is a 400, not a crashed worker.
+func (q SweepRequest) Canonical() (SweepRequest, error) {
+	if _, err := Lookup(q.Experiment); err != nil {
+		return q, err
+	}
+	if q.Reps == 0 {
+		q.Reps = 5
+	}
+	if q.Reps < 1 {
+		return q, fmt.Errorf("experiments: reps %d below 1", q.Reps)
+	}
+	if q.Scale == 0 {
+		q.Scale = 0.1
+	}
+	if q.Scale < 0 || q.Scale > 1 {
+		return q, fmt.Errorf("experiments: scale %v outside (0,1]", q.Scale)
+	}
+	if q.Seed == 0 {
+		q.Seed = 1
+	}
+	q.Parallelism, q.Async = 0, false
+	return q, nil
+}
+
+// Config converts the request into a sweep Config, attaching the
+// optional per-trial source factory (nil for the default generators).
+func (q SweepRequest) Config(src func(seed int64) (data.Source, error)) Config {
+	return Config{Reps: q.Reps, Scale: q.Scale, Seed: q.Seed, Parallelism: q.Parallelism, Source: src}
+}
+
+// RunSweep looks up and runs the requested experiment, converting the
+// harness's internal panics (trial errors, invalid configs) into
+// errors so a bad request cannot take a serving worker down. The
+// request's result-relevant defaults are resolved via Canonical while
+// its Parallelism is honored as given — it never changes result bytes.
+func RunSweep(q SweepRequest, src func(seed int64) (data.Source, error)) (panels []Panel, err error) {
+	par := q.Parallelism
+	q, err = q.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	q.Parallelism = par
+	spec, err := Lookup(q.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			panels, err = nil, fmt.Errorf("experiments: %s failed: %v", spec.ID, r)
+		}
+	}()
+	return spec.Run(q.Config(src)), nil
 }
 
 // trialFn runs one trial of one point and returns the measured error.

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the bounded deterministic result cache: canonical request
+// hash → exact marshaled response bytes, with LRU eviction and hit/miss
+// accounting. Correctness needs no invalidation story because every
+// cached value is a pure function of its key: runs and sweeps are
+// deterministic in (dataset bytes, canonical request), so replaying the
+// stored bytes is bit-identical to re-executing — the point of the
+// determinism contract (see DESIGN.md, "Serving").
+type cache struct {
+	mu           sync.Mutex
+	max          int
+	ll           *list.List // front = most recently used
+	index        map[string]*list.Element
+	hits, misses int64
+}
+
+type cacheItem struct {
+	key string
+	val []byte
+}
+
+func newCache(max int) *cache {
+	if max < 1 {
+		max = 1
+	}
+	return &cache{max: max, ll: list.New(), index: make(map[string]*list.Element)}
+}
+
+// get returns the cached bytes and records a hit or miss. Callers must
+// not mutate the returned slice.
+func (c *cache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+// put stores the bytes, evicting the least recently used entry beyond
+// capacity. Storing an existing key is a no-op: the determinism
+// contract guarantees the bytes would be identical anyway (two in-flight
+// misses of the same request both compute the same value).
+func (c *cache) put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.index[key]; ok {
+		return
+	}
+	c.index[key] = c.ll.PushFront(&cacheItem{key: key, val: val})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// stats returns the hit/miss counters and current size.
+func (c *cache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

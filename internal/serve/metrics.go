@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics holds the service counters exposed at GET /metrics in the
+// Prometheus text exposition format (no client library — the format is
+// plain text and the repo takes no dependencies). Everything is
+// monotonic counters plus latency sums, aggregated per normalized
+// route, so one scrape answers "how much traffic, how slow, how often
+// cached".
+type metrics struct {
+	mu       sync.Mutex
+	requests map[routeCode]int64
+	latNs    map[string]int64
+	latCount map[string]int64
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[routeCode]int64),
+		latNs:    make(map[string]int64),
+		latCount: make(map[string]int64),
+	}
+}
+
+// observe records one served request.
+func (m *metrics) observe(route string, code int, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[routeCode{route, code}]++
+	m.latNs[route] += dur.Nanoseconds()
+	m.latCount[route]++
+}
+
+// write renders the exposition text. Lines are emitted in sorted label
+// order so scrapes are stable.
+func (m *metrics) write(w io.Writer, hits, misses int64, cacheSize int, jobs map[string]int, datasets int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# TYPE htdp_requests_total counter")
+	keys := make([]routeCode, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "htdp_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# TYPE htdp_request_latency_seconds summary")
+	routes := make([]string, 0, len(m.latCount))
+	for r := range m.latCount {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		fmt.Fprintf(w, "htdp_request_latency_seconds_sum{route=%q} %g\n", r, float64(m.latNs[r])/1e9)
+		fmt.Fprintf(w, "htdp_request_latency_seconds_count{route=%q} %d\n", r, m.latCount[r])
+	}
+
+	fmt.Fprintln(w, "# TYPE htdp_cache_hits_total counter")
+	fmt.Fprintf(w, "htdp_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# TYPE htdp_cache_misses_total counter")
+	fmt.Fprintf(w, "htdp_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# TYPE htdp_cache_entries gauge")
+	fmt.Fprintf(w, "htdp_cache_entries %d\n", cacheSize)
+
+	fmt.Fprintln(w, "# TYPE htdp_jobs gauge")
+	states := make([]string, 0, len(jobs))
+	for s := range jobs {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(w, "htdp_jobs{status=%q} %d\n", s, jobs[s])
+	}
+
+	fmt.Fprintln(w, "# TYPE htdp_pool_datasets gauge")
+	fmt.Fprintf(w, "htdp_pool_datasets %d\n", datasets)
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"htdp/internal/core"
+	"htdp/internal/data"
+	"htdp/internal/loss"
+	"htdp/internal/polytope"
+	"htdp/internal/randx"
+	"htdp/internal/vecmath"
+)
+
+// RunRequest is the body of POST /v1/run: one algorithm, one pooled
+// dataset, one deterministic seed. The zero value of every optional
+// field means "use the default" (see API.md for the full schema).
+type RunRequest struct {
+	// Dataset names a pool entry (GET /v1/datasets lists them).
+	Dataset string `json:"dataset"`
+	// Algo is one of "fw", "lasso", "iht", or "sparseopt" — the same set
+	// as cmd/htdp -algo.
+	Algo string `json:"algo"`
+	// Eps is the privacy budget ε (default 1).
+	Eps float64 `json:"eps,omitempty"`
+	// Delta is the privacy parameter δ (default n^-1.1, resolved against
+	// the dataset at execution).
+	Delta float64 `json:"delta,omitempty"`
+	// T is the iteration count (default: the algorithm's theory choice).
+	T int `json:"T,omitempty"`
+	// SStar is the target sparsity of iht/sparseopt (default 10).
+	SStar int `json:"sstar,omitempty"`
+	// Seed is the base seed of the run's deterministic randomness
+	// (default 1). Identical (dataset, algo, eps, delta, T, sstar, seed)
+	// requests produce bit-identical results.
+	Seed int64 `json:"seed,omitempty"`
+	// Parallelism is the in-run worker count (0 = all cores). It trades
+	// wall-clock only — results are bit-identical at every setting — so
+	// it is excluded from the cache key.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Async requests a job handle (202 + job id) instead of a blocking
+	// response; also excluded from the cache key.
+	Async bool `json:"async,omitempty"`
+}
+
+// Canonical validates the request and resolves every defaulted
+// result-relevant field to its effective value, zeroing the
+// scheduling-only fields (Parallelism, Async). Two requests for the
+// same bytes therefore have equal canonical forms — the property the
+// response cache keys on.
+func (q RunRequest) Canonical() (RunRequest, error) {
+	if q.Dataset == "" {
+		return q, fmt.Errorf("dataset is required")
+	}
+	switch q.Algo {
+	case "fw", "lasso", "iht", "sparseopt":
+	default:
+		return q, fmt.Errorf("unknown algo %q (have fw, lasso, iht, sparseopt)", q.Algo)
+	}
+	if q.Eps == 0 {
+		q.Eps = 1
+	}
+	if q.Eps < 0 || math.IsNaN(q.Eps) || math.IsInf(q.Eps, 0) {
+		return q, fmt.Errorf("eps %v outside (0, ∞)", q.Eps)
+	}
+	if q.Delta < 0 || q.Delta >= 1 || math.IsNaN(q.Delta) {
+		return q, fmt.Errorf("delta %v outside [0, 1) (0 means the n^-1.1 default)", q.Delta)
+	}
+	if q.T < 0 {
+		return q, fmt.Errorf("T %d negative (0 means the theory default)", q.T)
+	}
+	if q.SStar == 0 {
+		q.SStar = 10
+	}
+	if q.SStar < 1 {
+		return q, fmt.Errorf("sstar %d below 1", q.SStar)
+	}
+	if q.Seed == 0 {
+		q.Seed = 1
+	}
+	q.Parallelism, q.Async = 0, false
+	return q, nil
+}
+
+// RunResult is the response of POST /v1/run (and of GET /v1/results/{id}
+// for async runs): the estimate and its summary statistics. Risk and
+// RiskZero are squared-loss empirical risks of the estimate and of the
+// zero vector, measured by the streaming evaluator — the same numbers
+// cmd/htdp -stream prints.
+type RunResult struct {
+	Dataset  string    `json:"dataset"`
+	Algo     string    `json:"algo"`
+	N        int       `json:"n"`
+	D        int       `json:"d"`
+	Eps      float64   `json:"eps"`
+	Delta    float64   `json:"delta"`
+	Seed     int64     `json:"seed"`
+	Risk     float64   `json:"risk"`
+	RiskZero float64   `json:"risk_zero"`
+	Norm1    float64   `json:"norm1"`
+	NNZ      int       `json:"nnz"`
+	W        []float64 `json:"w"`
+}
+
+// ExecuteRun runs one algorithm over src per the request — the exact
+// dispatch behind cmd/htdp -stream, so a service response is
+// bit-identical to the batch CLI run with the same parameters. The
+// request is canonicalized first (invalid requests error out); the
+// caller's Parallelism survives canonicalization because it never
+// changes result bytes, only wall-clock.
+func ExecuteRun(src data.Source, q RunRequest) (*RunResult, error) {
+	par := q.Parallelism
+	q, err := q.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	n, d := src.N(), src.D()
+	delta := q.Delta
+	if delta == 0 {
+		delta = math.Pow(float64(n), -1.1)
+	}
+	rng := randx.New(q.Seed)
+	var w []float64
+	switch q.Algo {
+	case "fw":
+		w, err = core.FrankWolfeSource(src, core.FWOptions{
+			Loss: loss.Squared{}, Domain: polytope.NewL1Ball(d, 1),
+			Eps: q.Eps, T: q.T, Parallelism: par, Rng: rng,
+		})
+	case "lasso":
+		w, err = core.LassoSource(src, core.LassoOptions{
+			Eps: q.Eps, Delta: delta, T: q.T, Parallelism: par, Rng: rng,
+		})
+	case "iht":
+		w, err = core.SparseLinRegSource(src, core.SparseLinRegOptions{
+			Eps: q.Eps, Delta: delta, SStar: q.SStar, T: q.T,
+			Parallelism: par, Rng: rng,
+		})
+	case "sparseopt":
+		w, err = core.SparseOptSource(src, core.SparseOptOptions{
+			Loss: loss.Squared{}, Eps: q.Eps, Delta: delta, SStar: q.SStar, T: q.T,
+			Parallelism: par, Rng: rng,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	risk, err := loss.EmpiricalSource(loss.Squared{}, w, src, par)
+	if err != nil {
+		return nil, err
+	}
+	risk0, err := loss.EmpiricalSource(loss.Squared{}, make([]float64, d), src, par)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Dataset: q.Dataset, Algo: q.Algo, N: n, D: d,
+		Eps: q.Eps, Delta: delta, Seed: q.Seed,
+		Risk: risk, RiskZero: risk0,
+		Norm1: vecmath.Norm1(w), NNZ: vecmath.Norm0(w), W: w,
+	}, nil
+}
+
+// cacheKey derives the deterministic cache key of a canonicalized
+// request: the SHA-256 of its kind-tagged JSON encoding. encoding/json
+// marshals struct fields in declaration order with shortest round-trip
+// floats, so equal canonical requests always hash equally.
+func cacheKey(kind string, canonical any) string {
+	b, err := json.Marshal(canonical)
+	if err != nil {
+		panic(err) // unreachable: request types marshal by construction
+	}
+	sum := sha256.Sum256(append([]byte(kind+"\x00"), b...))
+	return hex.EncodeToString(sum[:])
+}

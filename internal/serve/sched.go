@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Job states, as reported by GET /v1/jobs/{id}.
+const (
+	jobQueued  = "queued"
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// errQueueFull is returned by submit when the bounded queue is at
+// capacity; the HTTP layer maps it to 503 so callers can back off —
+// the scheduler never buffers unboundedly.
+var errQueueFull = errors.New("serve: job queue full")
+
+// JobStatus is the JSON shape of one job, served by GET /v1/jobs/{id}.
+// It is deliberately time-free so job documents are deterministic.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"` // "run" or "sweep"
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// job is one unit of scheduled work. Result bytes are written exactly
+// once, before done is closed; readers wait on done.
+type job struct {
+	id   string
+	kind string
+	fn   func() ([]byte, error)
+	done chan struct{}
+
+	mu     sync.Mutex
+	state  string
+	result []byte
+	errMsg string
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{ID: j.id, Kind: j.kind, Status: j.state, Error: j.errMsg}
+}
+
+// wait blocks until the job finished (done or failed).
+func (j *job) wait() { <-j.done }
+
+// resultBytes returns the finished job's exact response bytes. Callers
+// must not mutate the slice.
+func (j *job) resultBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+func (j *job) finish(result []byte, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state, j.errMsg = jobFailed, err.Error()
+	} else {
+		j.state, j.result = jobDone, result
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// scheduler is the bounded job scheduler under /v1/run and /v1/sweep: a
+// fixed worker pool consuming a depth-bounded queue, so the service
+// sheds load by rejecting (503) instead of by queueing without limit.
+// Scheduling order never affects results — every job derives its
+// randomness from its own request seed and owns its source handles —
+// which is what lets sync and async submissions of the same request
+// share one cache entry.
+type scheduler struct {
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // insertion order, for bounded retention
+	next   int
+	closed bool
+}
+
+// maxRetainedJobs bounds the finished-job history kept for
+// /v1/jobs and /v1/results lookups.
+const maxRetainedJobs = 1024
+
+func newScheduler(workers, depth int) *scheduler {
+	s := &scheduler{
+		queue: make(chan *job, depth),
+		jobs:  make(map[string]*job),
+	}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+func (s *scheduler) runJob(j *job) {
+	j.mu.Lock()
+	j.state = jobRunning
+	j.mu.Unlock()
+	var (
+		result []byte
+		err    error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		result, err = j.fn()
+	}()
+	j.finish(result, err)
+}
+
+// registerLocked adds a job to the lookup table, evicting the oldest
+// *finished* jobs beyond the retention bound (live jobs are skipped,
+// never evicted — retention may overshoot only by the number of
+// still-running jobs). Caller holds s.mu.
+func (s *scheduler) registerLocked(j *job) {
+	s.next++
+	j.id = fmt.Sprintf("job-%06d", s.next)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.order) > maxRetainedJobs {
+		evicted := false
+		for i, id := range s.order {
+			old, ok := s.jobs[id]
+			if ok {
+				old.mu.Lock()
+				finished := old.state == jobDone || old.state == jobFailed
+				old.mu.Unlock()
+				if !finished {
+					continue
+				}
+				delete(s.jobs, id)
+			}
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			break // everything retained is live; accept the overshoot
+		}
+	}
+}
+
+// submit registers and enqueues a job, or fails fast with errQueueFull.
+// The enqueue happens under s.mu — the same lock close() closes the
+// queue under — so a send on a closed channel is impossible.
+func (s *scheduler) submit(kind string, fn func() ([]byte, error)) (*job, error) {
+	j := &job{kind: kind, fn: fn, done: make(chan struct{}), state: jobQueued}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("serve: scheduler closed")
+	}
+	select {
+	case s.queue <- j:
+		s.registerLocked(j)
+		return j, nil
+	default:
+		// Reject without registering: a job that never ran should not
+		// occupy retention slots or resolve via /v1/jobs.
+		return nil, errQueueFull
+	}
+}
+
+// completed registers an already-finished job carrying the given result
+// bytes — the async path of a cache hit: the caller gets a job id whose
+// result is immediately available.
+func (s *scheduler) completed(kind string, result []byte) (*job, error) {
+	j := &job{kind: kind, done: make(chan struct{}), state: jobDone, result: result}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("serve: scheduler closed")
+	}
+	s.registerLocked(j)
+	s.mu.Unlock()
+	close(j.done)
+	return j, nil
+}
+
+// get looks a job up by id.
+func (s *scheduler) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// counts returns the number of jobs per state, for /metrics.
+func (s *scheduler) counts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]int{jobQueued: 0, jobRunning: 0, jobDone: 0, jobFailed: 0}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		out[j.state]++
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// close stops accepting work and waits for queued jobs to drain. The
+// queue is closed under s.mu, serialized against submit's enqueue.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}

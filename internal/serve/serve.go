@@ -1,0 +1,467 @@
+// Package serve implements the htdp estimation service: a concurrent
+// HTTP JSON API over a pooled data layer. It is the serving plane the
+// ROADMAP's "heavy traffic" north star asks for — request handling is
+// concurrent while every data-touching computation stays on the
+// repository's determinism contract, which is what makes the response
+// cache exact: the same canonical request always produces bit-identical
+// bytes, served from cache or computed fresh.
+//
+// The pieces:
+//
+//   - data.SourcePool hands each request a private Source handle over
+//     shared immutable state (CSV row-offset index, in-memory matrix,
+//     generator spec);
+//   - a bounded scheduler (fixed workers, depth-bounded queue) runs the
+//     jobs and sheds load with 503 instead of queueing unboundedly;
+//   - an LRU cache keyed by the SHA-256 of the canonicalized request
+//     replays responses bit for bit;
+//   - /metrics exposes request, latency, cache, and job counters.
+//
+// Endpoints, schemas, the error envelope, and the determinism/caching
+// contract are documented in API.md; cmd/htdp -serve wires this up.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"htdp/internal/data"
+	"htdp/internal/experiments"
+)
+
+// Options sizes the service.
+type Options struct {
+	// Workers is the job-scheduler worker count (0 = GOMAXPROCS). Each
+	// job additionally parallelizes internally per its request's
+	// Parallelism field.
+	Workers int
+	// QueueDepth bounds the pending-job queue (0 = 64); submissions
+	// beyond it are rejected with 503.
+	QueueDepth int
+	// CacheSize bounds the result cache in entries (0 = 256), LRU
+	// evicted.
+	CacheSize int
+	// MaxUploadBytes bounds POST /v1/datasets bodies (0 = 1 GiB).
+	MaxUploadBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 256
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 1 << 30
+	}
+	return o
+}
+
+// Server is the HTTP handler of the estimation service. Create one with
+// New, mount it on any http.Server (it implements http.Handler), and
+// Close it to drain the scheduler.
+type Server struct {
+	pool  *data.SourcePool
+	sched *scheduler
+	cache *cache
+	met   *metrics
+	mux   *http.ServeMux
+	opt   Options
+}
+
+// New builds a Server over an already-populated pool. The pool stays
+// owned by the caller (Close does not close it), so one pool can back
+// several servers or outlive a restart.
+func New(pool *data.SourcePool, opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		pool:  pool,
+		sched: newScheduler(opt.Workers, opt.QueueDepth),
+		cache: newCache(opt.CacheSize),
+		met:   newMetrics(),
+		mux:   http.NewServeMux(),
+		opt:   opt,
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetsList)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetsUpload)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	return s
+}
+
+// Close drains the scheduler: queued jobs finish, new submissions fail.
+func (s *Server) Close() { s.sched.close() }
+
+// ServeHTTP dispatches a request, recording per-route request and
+// latency counters around the inner mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	s.met.observe(normalizeRoute(r), rec.code, time.Since(start))
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// knownRoutes is the closed set of metrics labels; anything else —
+// scanners probing random paths, wrong methods — collapses to "other"
+// so the per-route counter maps cannot grow without bound.
+var knownRoutes = map[string]bool{
+	"GET /healthz":         true,
+	"GET /metrics":         true,
+	"GET /v1/experiments":  true,
+	"GET /v1/datasets":     true,
+	"POST /v1/datasets":    true,
+	"POST /v1/run":         true,
+	"POST /v1/sweep":       true,
+	"GET /v1/jobs/{id}":    true,
+	"GET /v1/results/{id}": true,
+}
+
+// normalizeRoute maps a request to its bounded metrics label: path
+// parameters collapse, and unknown routes share one label, so
+// cardinality stays fixed.
+func normalizeRoute(r *http.Request) string {
+	path := r.URL.Path
+	switch {
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		path = "/v1/jobs/{id}"
+	case strings.HasPrefix(path, "/v1/results/"):
+		path = "/v1/results/{id}"
+	}
+	label := r.Method + " " + path
+	if !knownRoutes[label] {
+		return "other"
+	}
+	return label
+}
+
+// errorBody is the uniform error envelope of every non-2xx response.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var body errorBody
+	body.Error.Code, body.Error.Message = code, msg
+	writeJSON(w, status, body)
+}
+
+// writeJSON marshals a non-cached document (errors, jobs, listings).
+// Cached byte replies bypass it so their bytes stay exact.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil { // unreachable: all documents marshal by construction
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// writeResult serves exact result bytes (already newline-terminated)
+// with the cache-disposition header.
+func writeResult(w http.ResponseWriter, body []byte, cached bool) {
+	disposition := "miss"
+	if cached {
+		disposition = "hit"
+	}
+	w.Header().Set("X-Htdp-Cache", disposition)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// decodeJSON strictly decodes a request body: unknown fields and
+// trailing garbage are errors, so typos fail loudly instead of
+// silently running defaults.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("request body has trailing data")
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, hits, misses, size, s.sched.counts(), len(s.pool.List()))
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID          string `json:"id"`
+		Description string `json:"description"`
+	}
+	list := struct {
+		Experiments []entry `json:"experiments"`
+	}{Experiments: []entry{}}
+	for _, spec := range experiments.Registry() {
+		list.Experiments = append(list.Experiments, entry{ID: spec.ID, Description: spec.Description})
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleDatasetsList(w http.ResponseWriter, r *http.Request) {
+	list := struct {
+		Datasets []data.PoolEntry `json:"datasets"`
+	}{Datasets: s.pool.List()}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleDatasetsUpload registers the CSV request body as an in-memory
+// pooled dataset: ?name= (required), ?labelcol= (default -1),
+// ?header= (default false). Uploads materialize in memory; datasets
+// larger than that should be registered as CSV paths at startup
+// (cmd/htdp -serve -dataset name=path), which streams chunks from disk
+// instead.
+func (s *Server) handleDatasetsUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "query parameter name is required")
+		return
+	}
+	labelCol := -1
+	if v := r.URL.Query().Get("labelcol"); v != "" {
+		lc, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "labelcol: "+err.Error())
+			return
+		}
+		labelCol = lc
+	}
+	header := false
+	if v := r.URL.Query().Get("header"); v != "" {
+		h, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "header: "+err.Error())
+			return
+		}
+		header = h
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxUploadBytes)
+	ds, err := data.ReadCSV(body, name, labelCol, header)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("upload exceeds %d bytes; register large datasets as CSV paths at startup instead", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	entry, err := s.pool.RegisterMem(name, ds)
+	if err != nil {
+		writeError(w, http.StatusConflict, "conflict", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, struct {
+		Dataset data.PoolEntry `json:"dataset"`
+	}{Dataset: entry})
+}
+
+// handleRun answers POST /v1/run: canonicalize, consult the cache,
+// otherwise schedule the run on a pooled source handle. Sync requests
+// block for the result; async ones get a 202 job handle resolvable via
+// /v1/jobs and /v1/results. Response bytes for one canonical request
+// are identical in all four paths (sync/async × cached/computed).
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var q RunRequest
+	if err := decodeJSON(r, &q); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	canon, err := q.Canonical()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	entry, err := s.pool.Lookup(canon.Dataset)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	// Delta is the one default Canonical cannot resolve alone — it
+	// depends on the dataset's n. Resolve it here so a defaulted and an
+	// explicit-δ request share one cache entry; ExecuteRun computes the
+	// identical value for direct callers.
+	if canon.Delta == 0 {
+		canon.Delta = math.Pow(float64(entry.N), -1.1)
+	}
+	key := cacheKey("run", canon)
+	exec := canon
+	exec.Parallelism = q.Parallelism
+	s.serveCachedOrRun(w, key, q.Async, "run", func() ([]byte, error) {
+		src, err := s.pool.Acquire(exec.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		defer src.Close()
+		res, err := ExecuteRun(src, exec)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	})
+}
+
+// handleSweep answers POST /v1/sweep: the experiment registry behind
+// cmd/htdp -run, per request. The optional dataset field feeds the
+// source-streaming experiments from a pooled dataset, one fresh handle
+// per trial.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var q experiments.SweepRequest
+	if err := decodeJSON(r, &q); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if q.Experiment == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "experiment is required")
+		return
+	}
+	if _, err := experiments.Lookup(q.Experiment); err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	canon, err := q.Canonical()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	var open func(seed int64) (data.Source, error)
+	if canon.Dataset != "" {
+		if _, err := s.pool.Lookup(canon.Dataset); err != nil {
+			writeError(w, http.StatusNotFound, "not_found", err.Error())
+			return
+		}
+		name := canon.Dataset
+		open = func(int64) (data.Source, error) { return s.pool.Acquire(name) }
+	}
+	key := cacheKey("sweep", canon)
+	exec := canon
+	exec.Parallelism = q.Parallelism
+	s.serveCachedOrRun(w, key, q.Async, "sweep", func() ([]byte, error) {
+		panels, err := experiments.RunSweep(exec, open)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(struct {
+			Experiment string              `json:"experiment"`
+			Panels     []experiments.Panel `json:"panels"`
+		}{Experiment: exec.Experiment, Panels: panels})
+	})
+}
+
+// serveCachedOrRun is the shared cache-then-schedule tail of the two
+// compute endpoints. compute returns the result document WITHOUT the
+// trailing newline; the newline is appended once here so cached and
+// fresh responses share exact bytes.
+func (s *Server) serveCachedOrRun(w http.ResponseWriter, key string, async bool, kind string, compute func() ([]byte, error)) {
+	if b, ok := s.cache.get(key); ok {
+		if async {
+			j, err := s.sched.completed(kind, b)
+			if err != nil {
+				writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+				return
+			}
+			writeJSON(w, http.StatusAccepted, j.status())
+			return
+		}
+		writeResult(w, b, true)
+		return
+	}
+	work := func() ([]byte, error) {
+		b, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, '\n')
+		s.cache.put(key, b)
+		return b, nil
+	}
+	j, err := s.sched.submit(kind, work)
+	if err != nil {
+		if err == errQueueFull {
+			writeError(w, http.StatusServiceUnavailable, "queue_full", "job queue is full; retry later")
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+		return
+	}
+	if async {
+		writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
+	j.wait()
+	st := j.status()
+	if st.Status == jobFailed {
+		writeError(w, http.StatusUnprocessableEntity, kind+"_failed", st.Error)
+		return
+	}
+	writeResult(w, j.resultBytes(), false)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown job "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown job "+r.PathValue("id"))
+		return
+	}
+	switch st := j.status(); st.Status {
+	case jobDone:
+		writeResult(w, j.resultBytes(), true)
+	case jobFailed:
+		writeError(w, http.StatusUnprocessableEntity, st.Kind+"_failed", st.Error)
+	default:
+		writeError(w, http.StatusConflict, "not_finished",
+			fmt.Sprintf("job %s is %s; poll /v1/jobs/%s", st.ID, st.Status, st.ID))
+	}
+}

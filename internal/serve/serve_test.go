@@ -1,0 +1,686 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"htdp/internal/data"
+	"htdp/internal/experiments"
+	"htdp/internal/randx"
+)
+
+// testCSV materializes a small deterministic dataset and writes it as a
+// CSV file, returning the path and the in-memory reference.
+func testCSV(t *testing.T, seed int64, n, d int) (string, *data.Dataset) {
+	t.Helper()
+	gen := data.LinearSource(seed, data.LinearOpt{
+		N: n, D: d,
+		Feature: randx.LogNormal{Mu: 0, Sigma: 0.8},
+		Noise:   randx.Normal{Mu: 0, Sigma: 0.3},
+	})
+	ref := gen.Materialize()
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf, ref); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "serve.csv")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, ref
+}
+
+// newTestServer builds a server over a pool holding one CSV-backed
+// dataset named "csv".
+func newTestServer(t *testing.T, opt Options) (*httptest.Server, *data.SourcePool, string) {
+	t.Helper()
+	path, _ := testCSV(t, 7, 240, 8)
+	pool := data.NewSourcePool()
+	if _, err := pool.RegisterCSV("csv", path, -1, false); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(pool, opt)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		pool.Close()
+	})
+	return ts, pool, path
+}
+
+func postJSON(t *testing.T, url string, body any) (int, http.Header, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, out
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// sequentialReference computes the reference response bytes the batch
+// path produces: a fresh single-goroutine source, sequential engine.
+func sequentialReference(t *testing.T, csvPath string, q RunRequest) []byte {
+	t.Helper()
+	src, err := data.OpenCSV(csvPath, q.Dataset, -1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	q.Parallelism = 1
+	res, err := ExecuteRun(src, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+func TestHealthzAndListings(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	code, body := get(t, ts.URL+"/healthz")
+	if code != 200 || string(body) != "{\"status\":\"ok\"}\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	code, body = get(t, ts.URL+"/v1/experiments")
+	if code != 200 {
+		t.Fatalf("experiments = %d", code)
+	}
+	for _, want := range []string{"fig1", "fig11", "lowerbound", "abl-estimators", "streaming"} {
+		if !strings.Contains(string(body), "\""+want+"\"") {
+			t.Errorf("experiments listing missing %q", want)
+		}
+	}
+	code, body = get(t, ts.URL+"/v1/datasets")
+	if code != 200 || !strings.Contains(string(body), "\"csv\"") {
+		t.Fatalf("datasets = %d %q", code, body)
+	}
+}
+
+func TestRunSyncCacheBitIdentity(t *testing.T) {
+	ts, _, path := newTestServer(t, Options{})
+	req := RunRequest{Dataset: "csv", Algo: "fw", Eps: 2, Seed: 3, T: 5}
+	want := sequentialReference(t, path, req)
+
+	code, hdr, body := postJSON(t, ts.URL+"/v1/run", req)
+	if code != 200 {
+		t.Fatalf("run = %d %q", code, body)
+	}
+	if hdr.Get("X-Htdp-Cache") != "miss" {
+		t.Fatalf("first request cache header = %q, want miss", hdr.Get("X-Htdp-Cache"))
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("served bytes differ from sequential reference:\n got %q\nwant %q", body, want)
+	}
+
+	// The identical request again: a cache hit with the exact same bytes.
+	code, hdr, body2 := postJSON(t, ts.URL+"/v1/run", req)
+	if code != 200 || hdr.Get("X-Htdp-Cache") != "hit" {
+		t.Fatalf("repeat = %d cache=%q", code, hdr.Get("X-Htdp-Cache"))
+	}
+	if !bytes.Equal(body2, want) {
+		t.Fatal("cached bytes differ from computed bytes")
+	}
+
+	// A different parallelism is the same canonical request (the knob
+	// cannot change bytes), so it is a hit too — and still bit-exact.
+	req.Parallelism = 2
+	code, hdr, body3 := postJSON(t, ts.URL+"/v1/run", req)
+	if code != 200 || hdr.Get("X-Htdp-Cache") != "hit" {
+		t.Fatalf("parallelism variant = %d cache=%q", code, hdr.Get("X-Htdp-Cache"))
+	}
+	if !bytes.Equal(body3, want) {
+		t.Fatal("parallelism variant bytes differ")
+	}
+
+	// Cache accounting: exactly 1 miss, 2 hits.
+	code, metrics := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{"htdp_cache_hits_total 2", "htdp_cache_misses_total 1", "htdp_cache_entries 1"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestConcurrentRunsBitIdentical is the serving determinism test: many
+// parallel /v1/run requests over ONE pooled CSV entry, with distinct
+// seeds and mixed parallelism, must each return bytes identical to the
+// sequential batch reference for their seed. Run with -race this also
+// exercises the pool-handle isolation under real handler concurrency.
+func TestConcurrentRunsBitIdentical(t *testing.T) {
+	ts, _, path := newTestServer(t, Options{Workers: 4})
+	algos := []string{"fw", "lasso", "iht"}
+	seeds := []int64{1, 2, 3, 4}
+	type call struct {
+		req  RunRequest
+		want []byte
+	}
+	var calls []call
+	for si, seed := range seeds {
+		req := RunRequest{Dataset: "csv", Algo: algos[si%len(algos)], Eps: 2, Seed: seed, T: 3, SStar: 3}
+		calls = append(calls, call{req: req, want: sequentialReference(t, path, req)})
+	}
+
+	const repeats = 3 // 4 seeds × 3 = 12 concurrent requests
+	errc := make(chan error, len(calls)*repeats)
+	for rep := 0; rep < repeats; rep++ {
+		for ci, c := range calls {
+			go func(rep, ci int, c call) {
+				req := c.req
+				req.Parallelism = rep // 0, 1, 2 — must not change bytes
+				b, err := json.Marshal(req)
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(b))
+				if err != nil {
+					errc <- err
+					return
+				}
+				defer resp.Body.Close()
+				body, err := io.ReadAll(resp.Body)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != 200 {
+					errc <- fmt.Errorf("call %d rep %d: status %d: %s", ci, rep, resp.StatusCode, body)
+					return
+				}
+				if !bytes.Equal(body, c.want) {
+					errc <- fmt.Errorf("call %d rep %d: bytes differ from sequential reference", ci, rep)
+					return
+				}
+				errc <- nil
+			}(rep, ci, c)
+		}
+	}
+	for i := 0; i < len(calls)*repeats; i++ {
+		if err := <-errc; err != nil {
+			t.Error(err)
+		}
+	}
+
+	// After the storm, every request is cached: one more pass must be
+	// all hits, still bit-identical.
+	for _, c := range calls {
+		code, hdr, body := postJSON(t, ts.URL+"/v1/run", c.req)
+		if code != 200 || hdr.Get("X-Htdp-Cache") != "hit" {
+			t.Fatalf("post-storm %s seed=%d: %d cache=%q", c.req.Algo, c.req.Seed, code, hdr.Get("X-Htdp-Cache"))
+		}
+		if !bytes.Equal(body, c.want) {
+			t.Fatal("post-storm cached bytes differ")
+		}
+	}
+}
+
+func TestRunAsyncJobFlow(t *testing.T) {
+	ts, _, path := newTestServer(t, Options{})
+	req := RunRequest{Dataset: "csv", Algo: "lasso", Eps: 1, Seed: 9, T: 4, Async: true}
+	want := sequentialReference(t, path, req)
+
+	code, _, body := postJSON(t, ts.URL+"/v1/run", req)
+	if code != 202 {
+		t.Fatalf("async run = %d %q", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Kind != "run" {
+		t.Fatalf("job status = %+v", st)
+	}
+
+	// Poll the job until done (bounded).
+	for i := 0; ; i++ {
+		code, jb := get(t, ts.URL+"/v1/jobs/"+st.ID)
+		if code != 200 {
+			t.Fatalf("jobs = %d %q", code, jb)
+		}
+		if err := json.Unmarshal(jb, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == "done" {
+			break
+		}
+		if st.Status == "failed" {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		if i > 10000 {
+			t.Fatal("job never finished")
+		}
+	}
+	code, body = get(t, ts.URL+"/v1/results/"+st.ID)
+	if code != 200 {
+		t.Fatalf("results = %d %q", code, body)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("async result bytes differ from sequential reference")
+	}
+
+	// The same request synchronously is now a cache hit with those bytes.
+	sync := req
+	sync.Async = false
+	code, hdr, body2 := postJSON(t, ts.URL+"/v1/run", sync)
+	if code != 200 || hdr.Get("X-Htdp-Cache") != "hit" {
+		t.Fatalf("sync-after-async = %d cache=%q", code, hdr.Get("X-Htdp-Cache"))
+	}
+	if !bytes.Equal(body2, want) {
+		t.Fatal("sync-after-async bytes differ")
+	}
+
+	// An async re-request of cached work returns an immediately-done job.
+	code, _, body = postJSON(t, ts.URL+"/v1/run", req)
+	if code != 202 {
+		t.Fatalf("async rerun = %d", code)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "done" {
+		t.Fatalf("cached async job status = %q, want done", st.Status)
+	}
+	code, body = get(t, ts.URL+"/v1/results/"+st.ID)
+	if code != 200 || !bytes.Equal(body, want) {
+		t.Fatalf("cached async result = %d, equal=%v", code, bytes.Equal(body, want))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	for _, tc := range []struct {
+		name string
+		body string
+		code int
+		frag string
+	}{
+		{"malformed json", "{", 400, "bad_request"},
+		{"unknown field", `{"dataset":"csv","algo":"fw","bogus":1}`, 400, "bad_request"},
+		{"missing dataset", `{"algo":"fw"}`, 400, "dataset is required"},
+		{"unknown algo", `{"dataset":"csv","algo":"gd"}`, 400, "unknown algo"},
+		{"negative eps", `{"dataset":"csv","algo":"fw","eps":-1}`, 400, "eps"},
+		{"unknown dataset", `{"dataset":"nope","algo":"fw"}`, 404, "not_found"},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code || !strings.Contains(string(body), tc.frag) {
+			t.Errorf("%s: got %d %q, want %d containing %q", tc.name, resp.StatusCode, body, tc.code, tc.frag)
+		}
+		var env errorBody
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+			t.Errorf("%s: response is not the error envelope: %q", tc.name, body)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/v1/jobs/job-999999"); code != 404 {
+		t.Errorf("unknown job = %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/results/job-999999"); code != 404 {
+		t.Errorf("unknown result = %d, want 404", code)
+	}
+}
+
+func TestUploadAndRun(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	gen := data.LinearSource(21, data.LinearOpt{
+		N: 120, D: 5,
+		Feature: randx.LogNormal{Mu: 0, Sigma: 0.7},
+		Noise:   randx.Normal{Mu: 0, Sigma: 0.2},
+	})
+	ref := gen.Materialize()
+	var csv bytes.Buffer
+	if err := data.WriteCSV(&csv, ref); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/datasets?name=uploaded", "text/csv", bytes.NewReader(csv.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 201 || !strings.Contains(string(body), "\"uploaded\"") {
+		t.Fatalf("upload = %d %q", resp.StatusCode, body)
+	}
+
+	// The uploaded dataset serves runs, bit-identical to running over
+	// the in-memory reference directly.
+	req := RunRequest{Dataset: "uploaded", Algo: "fw", Eps: 1, Seed: 5, T: 4}
+	code, _, got := postJSON(t, ts.URL+"/v1/run", req)
+	if code != 200 {
+		t.Fatalf("run on upload = %d %q", code, got)
+	}
+	src := data.NewMemSource(ref)
+	direct := req
+	direct.Parallelism = 1
+	res, err := ExecuteRun(src, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(got, want) {
+		t.Fatal("upload-served bytes differ from direct MemSource run")
+	}
+
+	// Duplicate name conflicts; missing name is a 400; junk body is a 400.
+	resp, err = http.Post(ts.URL+"/v1/datasets?name=uploaded", "text/csv", bytes.NewReader(csv.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 409 {
+		t.Fatalf("duplicate upload = %d, want 409", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/datasets", "text/csv", bytes.NewReader(csv.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("nameless upload = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/datasets?name=junk", "text/csv", strings.NewReader("not,a\nnumeric,csv\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("junk upload = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	req := experiments.SweepRequest{Experiment: "abl-shrink-k", Reps: 2, Scale: 0.01, Seed: 3}
+
+	code, hdr, body := postJSON(t, ts.URL+"/v1/sweep", req)
+	if code != 200 {
+		t.Fatalf("sweep = %d %q", code, body)
+	}
+	if hdr.Get("X-Htdp-Cache") != "miss" {
+		t.Fatalf("first sweep cache = %q", hdr.Get("X-Htdp-Cache"))
+	}
+	panels, err := experiments.RunSweep(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(struct {
+		Experiment string              `json:"experiment"`
+		Panels     []experiments.Panel `json:"panels"`
+	}{Experiment: "abl-shrink-k", Panels: panels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(body, want) {
+		t.Fatal("sweep bytes differ from direct RunSweep")
+	}
+
+	code, hdr, body2 := postJSON(t, ts.URL+"/v1/sweep", req)
+	if code != 200 || hdr.Get("X-Htdp-Cache") != "hit" {
+		t.Fatalf("sweep repeat = %d cache=%q", code, hdr.Get("X-Htdp-Cache"))
+	}
+	if !bytes.Equal(body2, want) {
+		t.Fatal("cached sweep bytes differ")
+	}
+
+	// Unknown experiment → 404; bad scale → 400.
+	code, _, body = postJSON(t, ts.URL+"/v1/sweep", experiments.SweepRequest{Experiment: "fig99"})
+	if code != 404 {
+		t.Fatalf("unknown experiment = %d %q", code, body)
+	}
+	code, _, body = postJSON(t, ts.URL+"/v1/sweep", experiments.SweepRequest{Experiment: "fig1", Scale: 7})
+	if code != 400 {
+		t.Fatalf("bad scale = %d %q", code, body)
+	}
+}
+
+// TestSweepStreamingFromPool runs the streaming experiment against a
+// pooled CSV dataset: every trial acquires its own handle from the one
+// shared entry.
+func TestSweepStreamingFromPool(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	req := experiments.SweepRequest{Experiment: "streaming", Reps: 2, Scale: 0.01, Seed: 2, Dataset: "csv"}
+	code, _, body := postJSON(t, ts.URL+"/v1/sweep", req)
+	if code != 200 {
+		t.Fatalf("streaming sweep = %d %q", code, body)
+	}
+	if !strings.Contains(string(body), "config.source") || !strings.Contains(string(body), "dpfw-stream") {
+		t.Fatalf("streaming sweep output unexpected: %q", body)
+	}
+	// Unknown pooled dataset → 404.
+	req.Dataset = "nope"
+	code, _, _ = postJSON(t, ts.URL+"/v1/sweep", req)
+	if code != 404 {
+		t.Fatalf("unknown sweep dataset = %d", code)
+	}
+}
+
+func TestSchedulerBackpressure(t *testing.T) {
+	s := newScheduler(1, 1)
+	defer s.close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker...
+	j1, err := s.submit("run", func() ([]byte, error) {
+		close(started)
+		<-block
+		return []byte("a\n"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...fill the depth-1 queue...
+	j2, err := s.submit("run", func() ([]byte, error) { return []byte("b\n"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and the next submission is rejected, not queued.
+	if _, err := s.submit("run", func() ([]byte, error) { return nil, nil }); err != errQueueFull {
+		t.Fatalf("overfull submit err = %v, want errQueueFull", err)
+	}
+	close(block)
+	j1.wait()
+	j2.wait()
+	if got := j2.status().Status; got != jobDone {
+		t.Fatalf("queued job state = %q", got)
+	}
+	// Failed jobs report their error; panics are contained.
+	j3, err := s.submit("run", func() ([]byte, error) { return nil, fmt.Errorf("boom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3.wait()
+	if st := j3.status(); st.Status != jobFailed || st.Error != "boom" {
+		t.Fatalf("failed job status = %+v", st)
+	}
+	j4, err := s.submit("run", func() ([]byte, error) { panic("kaboom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	j4.wait()
+	if st := j4.status(); st.Status != jobFailed || !strings.Contains(st.Error, "kaboom") {
+		t.Fatalf("panicked job status = %+v", st)
+	}
+}
+
+func TestSchedulerSubmitAfterClose(t *testing.T) {
+	s := newScheduler(1, 4)
+	s.close()
+	if _, err := s.submit("run", func() ([]byte, error) { return nil, nil }); err == nil {
+		t.Fatal("submit after close: expected error, not a panic or success")
+	}
+	if _, err := s.completed("run", []byte("x\n")); err == nil {
+		t.Fatal("completed after close: expected error")
+	}
+	s.close() // idempotent
+}
+
+func TestMetricsRouteCardinalityBounded(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	for _, path := range []string{"/nope", "/admin/../etc", "/v2/run"} {
+		if code, _ := get(t, ts.URL+path); code != 404 {
+			t.Fatalf("GET %s = %d, want 404", path, code)
+		}
+	}
+	_, body := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(body), `htdp_requests_total{route="other",code="404"} 3`) {
+		t.Fatalf("probe paths not collapsed to the other label:\n%s", body)
+	}
+	if strings.Contains(string(body), "nope") {
+		t.Fatal("raw probe path leaked into metrics labels")
+	}
+}
+
+func TestUploadTooLarge(t *testing.T) {
+	path, _ := testCSV(t, 3, 50, 3)
+	pool := data.NewSourcePool()
+	if _, err := pool.RegisterCSV("csv", path, -1, false); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(pool, Options{MaxUploadBytes: 16})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+		pool.Close()
+	}()
+	resp, err := http.Post(ts.URL+"/v1/datasets?name=big", "text/csv",
+		strings.NewReader("1,2\n3,4\n5,6\n7,8\n9,10\n11,12\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 413 || !strings.Contains(string(body), "too_large") {
+		t.Fatalf("oversized upload = %d %q, want 413 too_large", resp.StatusCode, body)
+	}
+}
+
+// TestDeltaCanonicalizedAgainstDataset: a defaulted-δ and an explicit
+// δ = n^-1.1 request are the same computation, so they must share one
+// cache entry.
+func TestDeltaCanonicalizedAgainstDataset(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	implicit := RunRequest{Dataset: "csv", Algo: "lasso", Seed: 4, T: 3}
+	code, hdr, first := postJSON(t, ts.URL+"/v1/run", implicit)
+	if code != 200 || hdr.Get("X-Htdp-Cache") != "miss" {
+		t.Fatalf("implicit delta = %d cache=%q", code, hdr.Get("X-Htdp-Cache"))
+	}
+	var res RunResult
+	if err := json.Unmarshal(first, &res); err != nil {
+		t.Fatal(err)
+	}
+	explicit := implicit
+	explicit.Delta = res.Delta
+	code, hdr, second := postJSON(t, ts.URL+"/v1/run", explicit)
+	if code != 200 || hdr.Get("X-Htdp-Cache") != "hit" {
+		t.Fatalf("explicit delta = %d cache=%q, want hit", code, hdr.Get("X-Htdp-Cache"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("delta-equivalent requests returned different bytes")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2)
+	c.put("a", []byte("1"))
+	c.put("b", []byte("2"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("3")) // evicts b (least recently used)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	hits, misses, size := c.stats()
+	if hits != 3 || misses != 1 || size != 2 {
+		t.Fatalf("stats = %d/%d/%d, want 3/1/2", hits, misses, size)
+	}
+}
+
+func TestCanonicalization(t *testing.T) {
+	// Defaults resolve; scheduling-only fields are zeroed; so a
+	// defaulted and an explicit request share one cache key.
+	a, err := (RunRequest{Dataset: "d", Algo: "fw"}).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (RunRequest{Dataset: "d", Algo: "fw", Eps: 1, SStar: 10, Seed: 1, Parallelism: 4, Async: true}).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("canonical forms differ: %+v vs %+v", a, b)
+	}
+	if cacheKey("run", a) != cacheKey("run", b) {
+		t.Fatal("cache keys differ for equivalent requests")
+	}
+	if cacheKey("run", a) == cacheKey("sweep", a) {
+		t.Fatal("cache keys must be kind-tagged")
+	}
+	for _, bad := range []RunRequest{
+		{Algo: "fw"},
+		{Dataset: "d", Algo: "x"},
+		{Dataset: "d", Algo: "fw", Eps: -1},
+		{Dataset: "d", Algo: "fw", Delta: 1.5},
+		{Dataset: "d", Algo: "fw", T: -1},
+		{Dataset: "d", Algo: "fw", SStar: -2},
+	} {
+		if _, err := bad.Canonical(); err == nil {
+			t.Errorf("expected canonicalization error for %+v", bad)
+		}
+	}
+}
