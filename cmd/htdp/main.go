@@ -84,10 +84,14 @@ func run(args []string, stdout io.Writer) error {
 		labelCol = fs.Int("labelcol", -1, "label column of the -stream CSV (negative counts from the end)")
 		header   = fs.Bool("header", false, "the -stream CSV has a header row")
 
-		serveAddr = fs.String("serve", "", "serve the HTTP JSON API on this address (e.g. :8080); see API.md")
+		serveAddr = fs.String("serve", "", "serve the HTTP JSON API on this address (e.g. :8080); see API.md and OPERATIONS.md")
 		workers   = fs.Int("workers", 0, "-serve job workers (0 = all cores)")
 		queue     = fs.Int("queue", 0, "-serve job queue depth (0 = 64); beyond it requests get 503")
-		cachesize = fs.Int("cachesize", 0, "-serve result cache entries (0 = 256)")
+		cachemem  = fs.Int64("cachemem", 0, "-serve in-memory result-cache bound in bytes (0 = 64 MiB)")
+		cachedir  = fs.String("cachedir", "", "-serve durable result-cache directory; results survive restarts bit-identically (empty = memory only)")
+		cachedisk = fs.Int64("cachedisk", 0, "-serve -cachedir size bound in bytes (0 = 1 GiB)")
+		jobttl    = fs.Duration("jobttl", 0, "-serve finished-job retention age (e.g. 30m; 0 = count-bounded only)")
+		progress  = fs.Bool("progress", false, "print per-panel sweep progress to stderr during -run")
 	)
 	var datasets []string
 	fs.Func("dataset", "register name=path.csv in the -serve pool (repeatable)", func(v string) error {
@@ -152,7 +156,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer pool.Close()
 		return runServe(w, *serveAddr, pool, serve.Options{
-			Workers: *workers, QueueDepth: *queue, CacheSize: *cachesize,
+			Workers: *workers, QueueDepth: *queue,
+			MemCacheBytes: *cachemem, CacheDir: *cachedir, DiskCacheBytes: *cachedisk,
+			JobTTL: *jobttl,
 		})
 	}
 
@@ -186,6 +192,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	cfg := experiments.Config{Reps: *reps, Scale: *scale, Seed: *seed, Parallelism: *par}
+	if *progress {
+		// Progress is observability only (results are bit-identical with
+		// or without it) and goes to stderr so -o/-csv output stays clean.
+		cfg.Progress = func(p experiments.Progress) {
+			fmt.Fprintf(os.Stderr, "htdp: panel %s done (%d/%d)\n", p.Panel, p.Done, p.Total)
+		}
+	}
 	if *stream != "" {
 		// Feed the source-streaming experiments from the CSV instead of
 		// their default on-demand generator. Index the file once up
@@ -346,10 +359,14 @@ func demoLinearSource() *data.GenSource {
 }
 
 // runServe starts the estimation service and blocks until the listener
-// fails (or forever). The pool, scheduler sizing, cache, endpoints, and
-// the determinism/caching contract are documented in API.md.
+// fails (or forever). The pool, scheduler sizing, the two-tier result
+// cache, endpoints, and the determinism/caching contract are documented
+// in API.md; OPERATIONS.md is the operator runbook.
 func runServe(w io.Writer, addr string, pool *data.SourcePool, opt serve.Options) error {
-	srv := serve.New(pool, opt)
+	srv, err := serve.New(pool, opt)
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -153,7 +153,10 @@ func smokeServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := serve.New(pool, serve.Options{})
+	srv, err := serve.New(pool, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -269,6 +272,42 @@ func TestServeFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-serve", ":0", "-dataset", "nope"}, &buf); err == nil {
 		t.Fatal("malformed -dataset: expected error")
+	}
+	// An unusable -cachedir fails at startup, not silently memory-only.
+	blocked := filepath.Join(t.TempDir(), "file-not-dir")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-serve", ":0", "-cachedir", blocked}, &buf); err == nil {
+		t.Fatal("unusable -cachedir: expected error")
+	}
+}
+
+// TestRunWithProgress: the -progress flag only adds stderr
+// observability — the stdout tables are byte-identical with and
+// without it.
+func TestRunWithProgress(t *testing.T) {
+	var plain, observed bytes.Buffer
+	if err := run([]string{"-run", "abl-shrink-k", "-reps", "1", "-scale", "0.01"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "abl-shrink-k", "-reps", "1", "-scale", "0.01", "-progress"}, &observed); err != nil {
+		t.Fatal(err)
+	}
+	stripTiming := func(s string) string {
+		// The header line carries wall-clock; drop it before comparing.
+		lines := strings.Split(s, "\n")
+		var kept []string
+		for _, l := range lines {
+			if strings.HasPrefix(l, "### ") {
+				continue
+			}
+			kept = append(kept, l)
+		}
+		return strings.Join(kept, "\n")
+	}
+	if stripTiming(plain.String()) != stripTiming(observed.String()) {
+		t.Fatal("-progress changed stdout output")
 	}
 }
 

@@ -9,22 +9,34 @@ import (
 	"testing"
 )
 
-// TestGodocComplete is the missing-godoc gate CI runs on the root
-// package: every exported identifier of the public API must carry a doc
-// comment, either its own or (for grouped declarations) the group's.
-// The public surface is the product here — an undocumented re-export is
-// a regression the same way a failing test is.
+// TestGodocComplete is the missing-godoc gate CI runs: every exported
+// identifier of the public API must carry a doc comment, either its
+// own or (for grouped declarations) the group's. The gate covers the
+// root package — the public surface is the product here, and an
+// undocumented re-export is a regression the same way a failing test
+// is — and internal/serve, whose exported identifiers (Options,
+// RunRequest, JobStatus, …) define the wire API that API.md documents.
 func TestGodocComplete(t *testing.T) {
+	for dir, pkgName := range map[string]string{
+		".":              "htdp",
+		"internal/serve": "serve",
+	} {
+		checkGodoc(t, dir, pkgName)
+	}
+}
+
+func checkGodoc(t *testing.T, dir, pkgName string) {
+	t.Helper()
 	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
 	}, parser.ParseComments)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, ok := pkgs["htdp"]
+	pkg, ok := pkgs[pkgName]
 	if !ok {
-		t.Fatalf("root package not found (have %v)", pkgs)
+		t.Fatalf("package %s not found in %s (have %v)", pkgName, dir, pkgs)
 	}
 	for name, file := range pkg.Files {
 		for _, decl := range file.Decls {

@@ -479,7 +479,8 @@ type (
 	// Server is the HTTP handler of the estimation service; mount it on
 	// any http.Server.
 	Server = serve.Server
-	// ServeOptions sizes the service (workers, queue depth, cache).
+	// ServeOptions sizes the service (workers, queue depth, the
+	// two-tier result cache, job TTL).
 	ServeOptions = serve.Options
 	// RunRequest is the body of POST /v1/run — and the parameter set of
 	// ExecuteRun.
@@ -491,6 +492,10 @@ type (
 	// SweepRequest is the body of POST /v1/sweep: one experiment
 	// registry sweep, runnable by request.
 	SweepRequest = experiments.SweepRequest
+	// SweepProgress is one per-panel progress event of a running sweep,
+	// delivered to RunSweep's optional callback and over the serving
+	// layer's SSE stream.
+	SweepProgress = experiments.Progress
 )
 
 // NewSourcePool returns an empty dataset pool.
@@ -498,8 +503,9 @@ func NewSourcePool() *SourcePool { return data.NewSourcePool() }
 
 // NewServer builds the estimation service over an already-populated
 // pool; the caller keeps pool ownership and must Close the server to
-// drain its scheduler.
-func NewServer(pool *SourcePool, opt ServeOptions) *Server { return serve.New(pool, opt) }
+// drain its scheduler. It errors when the durable cache tier
+// (ServeOptions.CacheDir) cannot be created or scanned.
+func NewServer(pool *SourcePool, opt ServeOptions) (*Server, error) { return serve.New(pool, opt) }
 
 // ExecuteRun runs one algorithm over a source per the request — the
 // dispatch shared by POST /v1/run and cmd/htdp -stream, so served and
@@ -508,9 +514,11 @@ func ExecuteRun(src Source, q RunRequest) (*RunResult, error) { return serve.Exe
 
 // RunSweep runs one experiment registry sweep per the request,
 // optionally feeding the source-streaming experiments from the given
-// per-trial factory (nil for the default generators).
-func RunSweep(q SweepRequest, src func(seed int64) (Source, error)) ([]Panel, error) {
-	return experiments.RunSweep(q, src)
+// per-trial factory (nil for the default generators). An optional
+// progress callback (at most one) receives one SweepProgress event per
+// completed panel; it observes the sweep without changing its bytes.
+func RunSweep(q SweepRequest, src func(seed int64) (Source, error), progress ...func(SweepProgress)) ([]Panel, error) {
+	return experiments.RunSweep(q, src, progress...)
 }
 
 // Rényi-DP accounting (internal/dp).

@@ -211,7 +211,10 @@ func TestFacadeServing(t *testing.T) {
 		t.Fatalf("Lookup = %+v, %v", e, err)
 	}
 
-	srv := htdp.NewServer(pool, htdp.ServeOptions{Workers: 2})
+	srv, err := htdp.NewServer(pool, htdp.ServeOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

@@ -69,6 +69,7 @@ func splitVsFullAblation() Spec {
 				}
 				return excessVsWStar(loss.Squared{}, w, ds)
 			}))
+			cfg.panelDone(1, 1, p)
 			return []Panel{p}
 		},
 	}
@@ -140,6 +141,7 @@ func estimatorAblation() Spec {
 				}
 				return excessVsWStar(loss.Squared{}, w, ds)
 			}))
+			cfg.panelDone(1, 1, p)
 			return []Panel{p}
 		},
 	}
@@ -181,6 +183,7 @@ func alg1VsAlg2Ablation() Spec {
 				}
 				return excessVsWStar(loss.Squared{}, w, ds)
 			}))
+			cfg.panelDone(1, 1, p)
 			return []Panel{p}
 		},
 	}
@@ -220,6 +223,7 @@ func shrinkKAblation() Spec {
 				}
 				return excessVsWStar(loss.Squared{}, w, ds)
 			}))
+			cfg.panelDone(1, 1, p)
 			return []Panel{p}
 		},
 	}
@@ -265,6 +269,7 @@ func selectionAblation() Spec {
 				w := core.NonprivateIHT(ds, 2*sStar, 30, 0.15)
 				return estErr(w, ds.WStar)
 			}))
+			cfg.panelDone(1, 1, p)
 			return []Panel{p}
 		},
 	}
@@ -320,6 +325,7 @@ func lowerBoundCheck() Spec {
 				floor.Std = append(floor.Std, 0)
 			}
 			p.Series = append(p.Series, floor)
+			cfg.panelDone(1, 1, p)
 			return []Panel{p}
 		},
 	}

@@ -77,6 +77,7 @@ func fwFigure(id, desc string, logistic bool, feature, noise randx.Dist, paperN 
 					return trial(r, n0, d, eps)
 				}))
 			}
+			cfg.panelDone(1, 3, pa)
 			// (b) error vs n at ε=1.
 			ns := []float64{1, 3, 5, 7, 9}
 			for i := range ns {
@@ -90,6 +91,7 @@ func fwFigure(id, desc string, logistic bool, feature, noise randx.Dist, paperN 
 					return trial(r, int(n), d, 1)
 				}))
 			}
+			cfg.panelDone(2, 3, pb)
 			// (c) private vs non-private, ε=1, d=400.
 			pc := Panel{Figure: id, Name: "c", XLabel: "n", YLabel: "excess risk",
 				Title: "private (ε=1) vs non-private, d=400"}
@@ -101,6 +103,7 @@ func fwFigure(id, desc string, logistic bool, feature, noise randx.Dist, paperN 
 				w := core.NonprivateFW(ds, l, polytope.NewL1Ball(400, 1), 150, nil)
 				return loss.ExcessRisk(l, w, reference(ds), ds.X, ds.Y)
 			}))
+			cfg.panelDone(3, 3, pc)
 			return []Panel{pa, pb, pc}
 		},
 	}
@@ -135,6 +138,7 @@ func lassoFigure(id, desc string, feature randx.Dist, paperN int) Spec {
 					return trial(r, n0, d, eps)
 				}))
 			}
+			cfg.panelDone(1, 3, pa)
 			ns := []float64{1, 3, 5, 7, 9}
 			for i := range ns {
 				ns[i] = float64(cfg.n(int(ns[i] * float64(paperN))))
@@ -147,6 +151,7 @@ func lassoFigure(id, desc string, feature randx.Dist, paperN int) Spec {
 					return trial(r, int(n), d, 1)
 				}))
 			}
+			cfg.panelDone(2, 3, pb)
 			pc := Panel{Figure: id, Name: "c", XLabel: "n", YLabel: "excess risk",
 				Title: "private (ε=1) vs non-private, d=200"}
 			pc.Series = append(pc.Series, sweep(cfg, "private", ns, 200, func(r *randx.RNG, n float64) float64 {
@@ -157,6 +162,7 @@ func lassoFigure(id, desc string, feature randx.Dist, paperN int) Spec {
 				w := core.NonprivateFW(ds, loss.Squared{}, polytope.NewL1Ball(200, 1), 100, nil)
 				return excessVsWStar(loss.Squared{}, w, ds)
 			}))
+			cfg.panelDone(3, 3, pc)
 			return []Panel{pa, pb, pc}
 		},
 	}
@@ -204,6 +210,7 @@ func ihtFigure(id, desc string, noise randx.Dist, paperN int) Spec {
 					return trial(r, n0, d, 20, eps)
 				}))
 			}
+			cfg.panelDone(1, 3, pa)
 			ns := []float64{1, 3, 5, 7, 9}
 			for i := range ns {
 				ns[i] = float64(cfg.n(int(ns[i] * float64(paperN) / 5)))
@@ -216,6 +223,7 @@ func ihtFigure(id, desc string, noise randx.Dist, paperN int) Spec {
 					return trial(r, int(n), d, 20, 1)
 				}))
 			}
+			cfg.panelDone(2, 3, pb)
 			pc := Panel{Figure: id, Name: "c", XLabel: "s*", YLabel: "excess risk",
 				Title: fmt.Sprintf("error vs sparsity, ε=1, n=%d", n0)}
 			for si, d := range dimGrid {
@@ -224,6 +232,7 @@ func ihtFigure(id, desc string, noise randx.Dist, paperN int) Spec {
 					return trial(r, n0, d, int(s), 1)
 				}))
 			}
+			cfg.panelDone(3, 3, pc)
 			return []Panel{pa, pb, pc}
 		},
 	}
@@ -258,6 +267,7 @@ func sparseOptFigure(id, desc string, feature, noise randx.Dist, paperN int) Spe
 					return trial(r, n0, d, 20, eps)
 				}))
 			}
+			cfg.panelDone(1, 3, pa)
 			ns := []float64{0.25, 0.5, 1, 2}
 			for i := range ns {
 				ns[i] = float64(cfg.n(int(ns[i] * float64(paperN))))
@@ -270,6 +280,7 @@ func sparseOptFigure(id, desc string, feature, noise randx.Dist, paperN int) Spe
 					return trial(r, int(n), d, 20, 1)
 				}))
 			}
+			cfg.panelDone(2, 3, pb)
 			pc := Panel{Figure: id, Name: "c", XLabel: "s*", YLabel: "excess risk",
 				Title: fmt.Sprintf("error vs sparsity, ε=1, n=%d", n0)}
 			for si, d := range dimGrid {
@@ -278,6 +289,7 @@ func sparseOptFigure(id, desc string, feature, noise randx.Dist, paperN int) Spe
 					return trial(r, n0, d, int(s), 1)
 				}))
 			}
+			cfg.panelDone(3, 3, pc)
 			return []Panel{pa, pb, pc}
 		},
 	}
@@ -326,6 +338,7 @@ func realFigure(id, desc string, names []string, logistic bool) Spec {
 					}))
 				}
 				panels = append(panels, p)
+				cfg.panelDone(pi+1, len(names), p)
 			}
 			return panels
 		},

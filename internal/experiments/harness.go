@@ -49,6 +49,33 @@ type Config struct {
 	// trial ends. Experiments that materialize data in memory ignore
 	// it.
 	Source func(seed int64) (data.Source, error)
+	// Progress, when non-nil, is called after each panel of the sweep
+	// completes, from the goroutine running the sweep. It is pure
+	// observability: results are bit-identical with or without it.
+	// cmd/htdp's -progress flag prints these events; the serving layer
+	// threads them into the job's progress field and SSE stream
+	// (API.md, "GET /v1/jobs/{id}/events").
+	Progress func(Progress)
+}
+
+// Progress describes one completed panel of a running sweep — the
+// payload of Config.Progress callbacks, of the serving layer's job
+// `progress` field, and of its SSE `progress` events.
+type Progress struct {
+	// Done is the number of panels completed so far.
+	Done int `json:"done"`
+	// Total is the number of panels the sweep will produce.
+	Total int `json:"total"`
+	// Panel names the just-finished panel, e.g. "fig1(b)".
+	Panel string `json:"panel"`
+}
+
+// panelDone reports a finished panel to the Progress callback, if any.
+// Every Spec.Run body calls it once per panel, in panel order.
+func (c Config) panelDone(done, total int, p Panel) {
+	if c.Progress != nil {
+		c.Progress(Progress{Done: done, Total: total, Panel: p.Figure + "(" + p.Name + ")"})
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -191,7 +218,10 @@ func (q SweepRequest) Config(src func(seed int64) (data.Source, error)) Config {
 // errors so a bad request cannot take a serving worker down. The
 // request's result-relevant defaults are resolved via Canonical while
 // its Parallelism is honored as given — it never changes result bytes.
-func RunSweep(q SweepRequest, src func(seed int64) (data.Source, error)) (panels []Panel, err error) {
+// An optional progress callback (at most one) receives one Progress
+// event per completed panel; it observes the sweep without affecting
+// its bytes.
+func RunSweep(q SweepRequest, src func(seed int64) (data.Source, error), progress ...func(Progress)) (panels []Panel, err error) {
 	par := q.Parallelism
 	q, err = q.Canonical()
 	if err != nil {
@@ -207,7 +237,13 @@ func RunSweep(q SweepRequest, src func(seed int64) (data.Source, error)) (panels
 			panels, err = nil, fmt.Errorf("experiments: %s failed: %v", spec.ID, r)
 		}
 	}()
-	return spec.Run(q.Config(src)), nil
+	cfg := q.Config(src)
+	for _, p := range progress {
+		if p != nil {
+			cfg.Progress = p
+		}
+	}
+	return spec.Run(cfg), nil
 }
 
 // trialFn runs one trial of one point and returns the measured error.

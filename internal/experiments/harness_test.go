@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -272,5 +273,45 @@ func TestAblationsTiny(t *testing.T) {
 	for _, id := range []string{"abl-alg1-vs-alg2", "abl-shrink-k"} {
 		spec, _ := Lookup(id)
 		checkPanels(t, id, spec.Run(tiny), 1)
+	}
+}
+
+// TestRunSweepProgress: every spec reports one Progress event per
+// panel, in order, ending at done == total — and observing progress
+// does not change the result panels.
+func TestRunSweepProgress(t *testing.T) {
+	req := SweepRequest{Experiment: "fig1", Reps: 1, Scale: 0.01, Seed: 3}
+	var events []Progress
+	panels, err := RunSweep(req, nil, func(p Progress) { events = append(events, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(panels) {
+		t.Fatalf("%d progress events for %d panels", len(events), len(panels))
+	}
+	for i, ev := range events {
+		want := Progress{Done: i + 1, Total: len(panels), Panel: panels[i].Figure + "(" + panels[i].Name + ")"}
+		if ev != want {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want)
+		}
+	}
+
+	// Progress is pure observability: the panels match a silent run.
+	silent, err := RunSweep(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(panels, silent) {
+		t.Fatal("observing progress changed the sweep result")
+	}
+
+	// A single-panel ablation reports exactly (1, 1).
+	events = nil
+	if _, err := RunSweep(SweepRequest{Experiment: "abl-shrink-k", Reps: 1, Scale: 0.01}, nil,
+		func(p Progress) { events = append(events, p) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Done != 1 || events[0].Total != 1 {
+		t.Fatalf("single-panel events = %+v", events)
 	}
 }

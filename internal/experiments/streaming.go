@@ -88,6 +88,7 @@ func streamingSpec() Spec {
 					})
 				})
 			}))
+			cfg.panelDone(1, 1, p)
 			return []Panel{p}
 		},
 	}

@@ -44,8 +44,9 @@ func (m *metrics) observe(route string, code int, dur time.Duration) {
 }
 
 // write renders the exposition text. Lines are emitted in sorted label
-// order so scrapes are stable.
-func (m *metrics) write(w io.Writer, hits, misses int64, cacheSize int, jobs map[string]int, datasets int) {
+// order so scrapes are stable. OPERATIONS.md documents every series
+// and its alerting hints.
+func (m *metrics) write(w io.Writer, st storeStats, coalesced int64, jobs map[string]int, expired int64, datasets int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -76,11 +77,24 @@ func (m *metrics) write(w io.Writer, hits, misses int64, cacheSize int, jobs map
 	}
 
 	fmt.Fprintln(w, "# TYPE htdp_cache_hits_total counter")
-	fmt.Fprintf(w, "htdp_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "htdp_cache_hits_total %d\n", st.Hits)
+	fmt.Fprintln(w, "# TYPE htdp_cache_disk_hits_total counter")
+	fmt.Fprintf(w, "htdp_cache_disk_hits_total %d\n", st.DiskHits)
 	fmt.Fprintln(w, "# TYPE htdp_cache_misses_total counter")
-	fmt.Fprintf(w, "htdp_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "htdp_cache_misses_total %d\n", st.Misses)
+	fmt.Fprintln(w, "# TYPE htdp_cache_disk_errors_total counter")
+	fmt.Fprintf(w, "htdp_cache_disk_errors_total %d\n", st.DiskErrs)
 	fmt.Fprintln(w, "# TYPE htdp_cache_entries gauge")
-	fmt.Fprintf(w, "htdp_cache_entries %d\n", cacheSize)
+	fmt.Fprintf(w, "htdp_cache_entries %d\n", st.MemEntries)
+	fmt.Fprintln(w, "# TYPE htdp_cache_mem_bytes gauge")
+	fmt.Fprintf(w, "htdp_cache_mem_bytes %d\n", st.MemBytes)
+	fmt.Fprintln(w, "# TYPE htdp_cache_disk_entries gauge")
+	fmt.Fprintf(w, "htdp_cache_disk_entries %d\n", st.DiskEntries)
+	fmt.Fprintln(w, "# TYPE htdp_cache_disk_bytes gauge")
+	fmt.Fprintf(w, "htdp_cache_disk_bytes %d\n", st.DiskBytes)
+
+	fmt.Fprintln(w, "# TYPE htdp_singleflight_coalesced_total counter")
+	fmt.Fprintf(w, "htdp_singleflight_coalesced_total %d\n", coalesced)
 
 	fmt.Fprintln(w, "# TYPE htdp_jobs gauge")
 	states := make([]string, 0, len(jobs))
@@ -91,6 +105,8 @@ func (m *metrics) write(w io.Writer, hits, misses int64, cacheSize int, jobs map
 	for _, s := range states {
 		fmt.Fprintf(w, "htdp_jobs{status=%q} %d\n", s, jobs[s])
 	}
+	fmt.Fprintln(w, "# TYPE htdp_jobs_expired_total counter")
+	fmt.Fprintf(w, "htdp_jobs_expired_total %d\n", expired)
 
 	fmt.Fprintln(w, "# TYPE htdp_pool_datasets gauge")
 	fmt.Fprintf(w, "htdp_pool_datasets %d\n", datasets)

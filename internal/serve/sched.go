@@ -4,14 +4,18 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"htdp/internal/experiments"
 )
 
 // Job states, as reported by GET /v1/jobs/{id}.
 const (
-	jobQueued  = "queued"
-	jobRunning = "running"
-	jobDone    = "done"
-	jobFailed  = "failed"
+	jobQueued    = "queued"
+	jobRunning   = "running"
+	jobDone      = "done"
+	jobFailed    = "failed"
+	jobCancelled = "cancelled"
 )
 
 // errQueueFull is returned by submit when the bounded queue is at
@@ -19,13 +23,24 @@ const (
 // the scheduler never buffers unboundedly.
 var errQueueFull = errors.New("serve: job queue full")
 
+// errNotCancellable is returned by cancel for a job that already left
+// the queue: only queued jobs can be cancelled (a running computation
+// has no safe interruption point, and a finished one has nothing left
+// to cancel).
+var errNotCancellable = errors.New("serve: only queued jobs can be cancelled")
+
 // JobStatus is the JSON shape of one job, served by GET /v1/jobs/{id}.
-// It is deliberately time-free so job documents are deterministic.
+// It is deliberately time-free so job documents are deterministic: a
+// finished sweep's document depends only on its request.
 type JobStatus struct {
 	ID     string `json:"id"`
 	Kind   string `json:"kind"` // "run" or "sweep"
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
+	// Progress is the last per-panel progress event of a sweep job
+	// (absent for runs and for sweeps that have not finished a panel
+	// yet). Its terminal value is deterministic: done == total.
+	Progress *experiments.Progress `json:"progress,omitempty"`
 }
 
 // job is one unit of scheduled work. Result bytes are written exactly
@@ -33,22 +48,31 @@ type JobStatus struct {
 type job struct {
 	id   string
 	kind string
-	fn   func() ([]byte, error)
+	key  string // cache key, "" for jobs outside the singleflight group
+	fn   func(*job) ([]byte, error)
 	done chan struct{}
 
-	mu     sync.Mutex
-	state  string
-	result []byte
-	errMsg string
+	mu         sync.Mutex
+	state      string
+	result     []byte
+	errMsg     string
+	finishedAt time.Time
+	progress   *experiments.Progress
+	subs       []chan experiments.Progress
 }
 
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{ID: j.id, Kind: j.kind, Status: j.state, Error: j.errMsg}
+	st := JobStatus{ID: j.id, Kind: j.kind, Status: j.state, Error: j.errMsg}
+	if j.progress != nil {
+		p := *j.progress
+		st.Progress = &p
+	}
+	return st
 }
 
-// wait blocks until the job finished (done or failed).
+// wait blocks until the job finished (done, failed, or cancelled).
 func (j *job) wait() { <-j.done }
 
 // resultBytes returns the finished job's exact response bytes. Callers
@@ -59,15 +83,57 @@ func (j *job) resultBytes() []byte {
 	return j.result
 }
 
-func (j *job) finish(result []byte, err error) {
+func (j *job) finish(result []byte, err error, now time.Time) {
 	j.mu.Lock()
 	if err != nil {
 		j.state, j.errMsg = jobFailed, err.Error()
 	} else {
 		j.state, j.result = jobDone, result
 	}
+	j.finishedAt = now
 	j.mu.Unlock()
 	close(j.done)
+}
+
+// setProgress records a sweep's per-panel progress and fans it out to
+// SSE subscribers. Sends are non-blocking: a slow subscriber skips
+// intermediate events (its terminal event still carries the final
+// progress), so a stalled client can never stall the worker.
+func (j *job) setProgress(p experiments.Progress) {
+	j.mu.Lock()
+	cp := p
+	j.progress = &cp
+	for _, ch := range j.subs {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe registers an SSE subscriber channel, pre-loaded with the
+// current progress (if any) so late subscribers see state immediately.
+func (j *job) subscribe() chan experiments.Progress {
+	ch := make(chan experiments.Progress, 32)
+	j.mu.Lock()
+	if j.progress != nil {
+		ch <- *j.progress
+	}
+	j.subs = append(j.subs, ch)
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *job) unsubscribe(ch chan experiments.Progress) {
+	j.mu.Lock()
+	for i, c := range j.subs {
+		if c == ch {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			break
+		}
+	}
+	j.mu.Unlock()
 }
 
 // scheduler is the bounded job scheduler under /v1/run and /v1/sweep: a
@@ -76,26 +142,40 @@ func (j *job) finish(result []byte, err error) {
 // Scheduling order never affects results — every job derives its
 // randomness from its own request seed and owns its source handles —
 // which is what lets sync and async submissions of the same request
-// share one cache entry.
+// share one cache entry. Finished jobs are retained for /v1/jobs and
+// /v1/results lookups under two bounds: a FIFO count bound and an
+// optional age TTL.
 type scheduler struct {
 	queue chan *job
 	wg    sync.WaitGroup
+	ttl   time.Duration    // 0 = no age-based eviction
+	now   func() time.Time // injected for TTL tests
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // insertion order, for bounded retention
-	next   int
-	closed bool
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // insertion order, for bounded retention
+	next    int
+	expired int64 // TTL evictions, for /metrics
+	closed  bool
+	// earliestFinish is the oldest finishedAt among retained finished
+	// jobs (zero = none known). It lets evictExpiredLocked return in
+	// O(1) when nothing can have expired yet, instead of scanning the
+	// whole retention list on every scheduler call. It may go stale-old
+	// when the count bound evicts the oldest job — that only costs one
+	// refreshing scan, never a missed expiry.
+	earliestFinish time.Time
 }
 
 // maxRetainedJobs bounds the finished-job history kept for
 // /v1/jobs and /v1/results lookups.
 const maxRetainedJobs = 1024
 
-func newScheduler(workers, depth int) *scheduler {
+func newScheduler(workers, depth int, ttl time.Duration) *scheduler {
 	s := &scheduler{
 		queue: make(chan *job, depth),
 		jobs:  make(map[string]*job),
+		ttl:   ttl,
+		now:   time.Now,
 	}
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
@@ -111,6 +191,12 @@ func newScheduler(workers, depth int) *scheduler {
 
 func (s *scheduler) runJob(j *job) {
 	j.mu.Lock()
+	if j.state != jobQueued {
+		// Cancelled while waiting in the queue: the job is already
+		// terminal, never run it.
+		j.mu.Unlock()
+		return
+	}
 	j.state = jobRunning
 	j.mu.Unlock()
 	var (
@@ -123,9 +209,58 @@ func (s *scheduler) runJob(j *job) {
 				err = fmt.Errorf("job panicked: %v", r)
 			}
 		}()
-		result, err = j.fn()
+		result, err = j.fn(j)
 	}()
-	j.finish(result, err)
+	finishedAt := s.now()
+	j.finish(result, err, finishedAt)
+	s.mu.Lock()
+	s.noteFinishedLocked(finishedAt)
+	s.mu.Unlock()
+}
+
+// noteFinishedLocked records a job completion time for the expiry
+// watermark. Caller holds s.mu.
+func (s *scheduler) noteFinishedLocked(t time.Time) {
+	if s.earliestFinish.IsZero() || t.Before(s.earliestFinish) {
+		s.earliestFinish = t
+	}
+}
+
+// evictExpiredLocked drops finished jobs older than the TTL. Called
+// lazily from every scheduler entry point, so expiry needs no
+// background goroutine; the earliestFinish watermark makes the common
+// nothing-to-do case O(1). Caller holds s.mu.
+func (s *scheduler) evictExpiredLocked() {
+	if s.ttl <= 0 {
+		return
+	}
+	cutoff := s.now().Add(-s.ttl)
+	if s.earliestFinish.IsZero() || s.earliestFinish.After(cutoff) {
+		return // nothing finished long enough ago to expire
+	}
+	var earliest time.Time
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		j.mu.Lock()
+		finished := j.state == jobDone || j.state == jobFailed || j.state == jobCancelled
+		finishedAt := j.finishedAt
+		j.mu.Unlock()
+		if finished && finishedAt.Before(cutoff) {
+			delete(s.jobs, id)
+			s.expired++
+			continue
+		}
+		if finished && (earliest.IsZero() || finishedAt.Before(earliest)) {
+			earliest = finishedAt
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+	s.earliestFinish = earliest
 }
 
 // registerLocked adds a job to the lookup table, evicting the oldest
@@ -143,7 +278,7 @@ func (s *scheduler) registerLocked(j *job) {
 			old, ok := s.jobs[id]
 			if ok {
 				old.mu.Lock()
-				finished := old.state == jobDone || old.state == jobFailed
+				finished := old.state == jobDone || old.state == jobFailed || old.state == jobCancelled
 				old.mu.Unlock()
 				if !finished {
 					continue
@@ -161,15 +296,18 @@ func (s *scheduler) registerLocked(j *job) {
 }
 
 // submit registers and enqueues a job, or fails fast with errQueueFull.
+// key is the cache key the job computes ("" for uncached work); the
+// server's singleflight group uses it to collapse duplicate misses.
 // The enqueue happens under s.mu — the same lock close() closes the
 // queue under — so a send on a closed channel is impossible.
-func (s *scheduler) submit(kind string, fn func() ([]byte, error)) (*job, error) {
-	j := &job{kind: kind, fn: fn, done: make(chan struct{}), state: jobQueued}
+func (s *scheduler) submit(kind, key string, fn func(*job) ([]byte, error)) (*job, error) {
+	j := &job{kind: kind, key: key, fn: fn, done: make(chan struct{}), state: jobQueued}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, errors.New("serve: scheduler closed")
 	}
+	s.evictExpiredLocked()
 	select {
 	case s.queue <- j:
 		s.registerLocked(j)
@@ -191,31 +329,61 @@ func (s *scheduler) completed(kind string, result []byte) (*job, error) {
 		s.mu.Unlock()
 		return nil, errors.New("serve: scheduler closed")
 	}
+	s.evictExpiredLocked()
+	j.finishedAt = s.now()
+	s.noteFinishedLocked(j.finishedAt)
 	s.registerLocked(j)
 	s.mu.Unlock()
 	close(j.done)
 	return j, nil
 }
 
-// get looks a job up by id.
+// cancel moves a still-queued job to the cancelled state; the worker
+// that eventually dequeues it skips it. Jobs that already started (or
+// finished) return errNotCancellable.
+func (s *scheduler) cancel(j *job) error {
+	finishedAt := s.now()
+	j.mu.Lock()
+	if j.state != jobQueued {
+		j.mu.Unlock()
+		return errNotCancellable
+	}
+	j.state = jobCancelled
+	j.errMsg = "cancelled before running"
+	j.finishedAt = finishedAt
+	j.mu.Unlock()
+	close(j.done)
+	// s.mu strictly after j.mu is released: counts() nests the locks
+	// the other way around (s.mu, then each j.mu).
+	s.mu.Lock()
+	s.noteFinishedLocked(finishedAt)
+	s.mu.Unlock()
+	return nil
+}
+
+// get looks a job up by id (expired jobs are evicted first, so a
+// TTL-expired id is a miss).
 func (s *scheduler) get(id string) (*job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.evictExpiredLocked()
 	j, ok := s.jobs[id]
 	return j, ok
 }
 
-// counts returns the number of jobs per state, for /metrics.
-func (s *scheduler) counts() map[string]int {
+// counts returns the number of retained jobs per state plus the
+// cumulative TTL-expiry count, for /metrics.
+func (s *scheduler) counts() (states map[string]int, expired int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := map[string]int{jobQueued: 0, jobRunning: 0, jobDone: 0, jobFailed: 0}
+	s.evictExpiredLocked()
+	out := map[string]int{jobQueued: 0, jobRunning: 0, jobDone: 0, jobFailed: 0, jobCancelled: 0}
 	for _, j := range s.jobs {
 		j.mu.Lock()
 		out[j.state]++
 		j.mu.Unlock()
 	}
-	return out
+	return out, s.expired
 }
 
 // close stops accepting work and waits for queued jobs to drain. The

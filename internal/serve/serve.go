@@ -11,11 +11,17 @@
 //   - data.SourcePool hands each request a private Source handle over
 //     shared immutable state (CSV row-offset index, in-memory matrix,
 //     generator spec);
-//   - a bounded scheduler (fixed workers, depth-bounded queue) runs the
-//     jobs and sheds load with 503 instead of queueing unboundedly;
-//   - an LRU cache keyed by the SHA-256 of the canonicalized request
-//     replays responses bit for bit;
-//   - /metrics exposes request, latency, cache, and job counters.
+//   - a bounded scheduler (fixed workers, depth-bounded queue, job TTL)
+//     runs the jobs and sheds load with 503 instead of queueing
+//     unboundedly;
+//   - a two-tier result store keyed by the SHA-256 of the canonicalized
+//     request replays responses bit for bit: a byte-bounded in-memory
+//     LRU over an optional content-addressed disk tier (-cachedir)
+//     that survives restarts;
+//   - a singleflight group collapses concurrent misses of one key
+//     behind a single scheduled job;
+//   - /metrics exposes request, latency, cache-tier, singleflight, and
+//     job counters (OPERATIONS.md documents every series).
 //
 // Endpoints, schemas, the error envelope, and the determinism/caching
 // contract are documented in API.md; cmd/htdp -serve wires this up.
@@ -45,9 +51,21 @@ type Options struct {
 	// QueueDepth bounds the pending-job queue (0 = 64); submissions
 	// beyond it are rejected with 503.
 	QueueDepth int
-	// CacheSize bounds the result cache in entries (0 = 256), LRU
-	// evicted.
-	CacheSize int
+	// MemCacheBytes bounds the in-memory result-store tier in bytes
+	// (0 = 64 MiB), LRU evicted.
+	MemCacheBytes int64
+	// CacheDir, when non-empty, enables the durable result tier: one
+	// content-addressed file per cache entry, written atomically, read
+	// back bit-identically across restarts. Empty = memory-only.
+	CacheDir string
+	// DiskCacheBytes bounds the CacheDir tier in bytes (0 = 1 GiB),
+	// LRU evicted (file mtime orders entries across restarts).
+	DiskCacheBytes int64
+	// JobTTL evicts finished jobs from the /v1/jobs history this long
+	// after completion, alongside the FIFO count bound (0 = count
+	// bound only). Cached results outlive their job: a re-request is
+	// answered by the result store.
+	JobTTL time.Duration
 	// MaxUploadBytes bounds POST /v1/datasets bodies (0 = 1 GiB).
 	MaxUploadBytes int64
 }
@@ -59,8 +77,11 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
 	}
-	if o.CacheSize <= 0 {
-		o.CacheSize = 256
+	if o.MemCacheBytes <= 0 {
+		o.MemCacheBytes = 64 << 20
+	}
+	if o.DiskCacheBytes <= 0 {
+		o.DiskCacheBytes = 1 << 30
 	}
 	if o.MaxUploadBytes <= 0 {
 		o.MaxUploadBytes = 1 << 30
@@ -72,26 +93,35 @@ func (o Options) withDefaults() Options {
 // New, mount it on any http.Server (it implements http.Handler), and
 // Close it to drain the scheduler.
 type Server struct {
-	pool  *data.SourcePool
-	sched *scheduler
-	cache *cache
-	met   *metrics
-	mux   *http.ServeMux
-	opt   Options
+	pool   *data.SourcePool
+	sched  *scheduler
+	store  *store
+	flight *flight
+	met    *metrics
+	mux    *http.ServeMux
+	opt    Options
 }
 
 // New builds a Server over an already-populated pool. The pool stays
 // owned by the caller (Close does not close it), so one pool can back
-// several servers or outlive a restart.
-func New(pool *data.SourcePool, opt Options) *Server {
+// several servers or outlive a restart. When Options.CacheDir is set,
+// the directory is created and scanned (crash leftovers swept, prior
+// results re-indexed) before the server accepts traffic; scan failures
+// are returned rather than silently running without the disk tier.
+func New(pool *data.SourcePool, opt Options) (*Server, error) {
 	opt = opt.withDefaults()
+	st, err := newStore(opt.MemCacheBytes, opt.CacheDir, opt.DiskCacheBytes)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		pool:  pool,
-		sched: newScheduler(opt.Workers, opt.QueueDepth),
-		cache: newCache(opt.CacheSize),
-		met:   newMetrics(),
-		mux:   http.NewServeMux(),
-		opt:   opt,
+		pool:   pool,
+		sched:  newScheduler(opt.Workers, opt.QueueDepth, opt.JobTTL),
+		store:  st,
+		flight: newFlight(),
+		met:    newMetrics(),
+		mux:    http.NewServeMux(),
+		opt:    opt,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -101,8 +131,10 @@ func New(pool *data.SourcePool, opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
-	return s
+	return s, nil
 }
 
 // Close drains the scheduler: queued jobs finish, new submissions fail.
@@ -117,7 +149,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.met.observe(normalizeRoute(r), rec.code, time.Since(start))
 }
 
-// statusRecorder captures the response code for metrics.
+// statusRecorder captures the response code for metrics. It forwards
+// Flush so the SSE handler can stream through it.
 type statusRecorder struct {
 	http.ResponseWriter
 	code int
@@ -128,19 +161,27 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // knownRoutes is the closed set of metrics labels; anything else —
 // scanners probing random paths, wrong methods — collapses to "other"
 // so the per-route counter maps cannot grow without bound.
 var knownRoutes = map[string]bool{
-	"GET /healthz":         true,
-	"GET /metrics":         true,
-	"GET /v1/experiments":  true,
-	"GET /v1/datasets":     true,
-	"POST /v1/datasets":    true,
-	"POST /v1/run":         true,
-	"POST /v1/sweep":       true,
-	"GET /v1/jobs/{id}":    true,
-	"GET /v1/results/{id}": true,
+	"GET /healthz":             true,
+	"GET /metrics":             true,
+	"GET /v1/experiments":      true,
+	"GET /v1/datasets":         true,
+	"POST /v1/datasets":        true,
+	"POST /v1/run":             true,
+	"POST /v1/sweep":           true,
+	"GET /v1/jobs/{id}":        true,
+	"DELETE /v1/jobs/{id}":     true,
+	"GET /v1/jobs/{id}/events": true,
+	"GET /v1/results/{id}":     true,
 }
 
 // normalizeRoute maps a request to its bounded metrics label: path
@@ -149,6 +190,8 @@ var knownRoutes = map[string]bool{
 func normalizeRoute(r *http.Request) string {
 	path := r.URL.Path
 	switch {
+	case strings.HasPrefix(path, "/v1/jobs/") && strings.HasSuffix(path, "/events"):
+		path = "/v1/jobs/{id}/events"
 	case strings.HasPrefix(path, "/v1/jobs/"):
 		path = "/v1/jobs/{id}"
 	case strings.HasPrefix(path, "/v1/results/"):
@@ -189,13 +232,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeResult serves exact result bytes (already newline-terminated)
-// with the cache-disposition header.
-func writeResult(w http.ResponseWriter, body []byte, cached bool) {
-	disposition := "miss"
-	if cached {
-		disposition = "hit"
-	}
-	w.Header().Set("X-Htdp-Cache", disposition)
+// with the cache-disposition header: "hit" (memory tier), "disk"
+// (durable tier), "miss" (computed by this request), or "coalesced"
+// (computed once by a concurrent identical request — singleflight).
+// The body bytes are identical in all four cases; the header is the
+// only observable difference.
+func writeResult(w http.ResponseWriter, body []byte, tier string) {
+	w.Header().Set("X-Htdp-Cache", tier)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(body)
 }
@@ -221,9 +264,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	hits, misses, size := s.cache.stats()
+	jobs, expired := s.sched.counts()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, hits, misses, size, s.sched.counts(), len(s.pool.List()))
+	s.met.write(w, s.store.stats(), s.flight.coalescedCount(), jobs, expired, len(s.pool.List()))
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -330,7 +373,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey("run", canon)
 	exec := canon
 	exec.Parallelism = q.Parallelism
-	s.serveCachedOrRun(w, key, q.Async, "run", func() ([]byte, error) {
+	s.serveCachedOrRun(w, key, q.Async, "run", func(func(experiments.Progress)) ([]byte, error) {
 		src, err := s.pool.Acquire(exec.Dataset)
 		if err != nil {
 			return nil, err
@@ -379,8 +422,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey("sweep", canon)
 	exec := canon
 	exec.Parallelism = q.Parallelism
-	s.serveCachedOrRun(w, key, q.Async, "sweep", func() ([]byte, error) {
-		panels, err := experiments.RunSweep(exec, open)
+	s.serveCachedOrRun(w, key, q.Async, "sweep", func(progress func(experiments.Progress)) ([]byte, error) {
+		panels, err := experiments.RunSweep(exec, open, progress)
 		if err != nil {
 			return nil, err
 		}
@@ -391,53 +434,133 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// serveCachedOrRun is the shared cache-then-schedule tail of the two
-// compute endpoints. compute returns the result document WITHOUT the
-// trailing newline; the newline is appended once here so cached and
-// fresh responses share exact bytes.
-func (s *Server) serveCachedOrRun(w http.ResponseWriter, key string, async bool, kind string, compute func() ([]byte, error)) {
-	if b, ok := s.cache.get(key); ok {
-		if async {
-			j, err := s.sched.completed(kind, b)
-			if err != nil {
-				writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+// serveCachedOrRun is the shared store-then-schedule tail of the two
+// compute endpoints: consult the result store (memory, then disk),
+// otherwise join the singleflight group for the key — the first miss
+// becomes the leader and schedules the one job; concurrent identical
+// misses attach to it as followers (header "coalesced") instead of
+// scheduling duplicates. compute returns the result document WITHOUT
+// the trailing newline; the newline is appended once here so cached
+// and fresh responses share exact bytes. The progress sink it receives
+// feeds the job's progress field and SSE stream (runs ignore it).
+func (s *Server) serveCachedOrRun(w http.ResponseWriter, key string, async bool, kind string, compute func(progress func(experiments.Progress)) ([]byte, error)) {
+	// The loop exists for two rare races, both of which re-enter as a
+	// fresh lookup: a previous leader finishing between our store miss
+	// and the flight lock (its bytes are in the store — serve them, do
+	// not recompute), and a leader being cancelled while we were
+	// attached to it (its key is free again — compute). Each retry
+	// requires another concurrent completion or cancellation, so the
+	// bound is never reached in practice.
+	lookup := s.store.get
+	for attempt := 0; attempt < 3; attempt++ {
+		if b, tier, ok := lookup(key); ok {
+			s.serveStored(w, b, tier, async, kind)
+			return
+		}
+		// Later iterations must not double-count the one logical miss.
+		lookup = s.store.recheck
+		// The flight lock spans leader lookup AND job registration, so
+		// of N concurrent misses exactly one schedules work. Nothing
+		// under it may touch the disk: contains() is index-only.
+		s.flight.mu.Lock()
+		if leader, ok := s.flight.leaders[key]; ok {
+			s.flight.coalesced++
+			s.flight.mu.Unlock()
+			if s.awaitJob(w, leader, async, kind, "coalesced") {
 				return
 			}
-			writeJSON(w, http.StatusAccepted, j.status())
-			return
+			continue // leader was cancelled; retry as a fresh miss
 		}
-		writeResult(w, b, true)
-		return
-	}
-	work := func() ([]byte, error) {
-		b, err := compute()
+		if s.store.contains(key) {
+			// A previous leader finished between our miss and this
+			// lock; loop around and serve its bytes (reading the disk
+			// tier outside the flight lock).
+			s.flight.mu.Unlock()
+			continue
+		}
+		work := func(j *job) ([]byte, error) {
+			// Leave the flight group only after the store holds the
+			// bytes, so late requests find one or the other — never
+			// neither.
+			defer s.flight.drop(key, j)
+			b, err := compute(j.setProgress)
+			if err != nil {
+				return nil, err
+			}
+			b = append(b, '\n')
+			s.store.put(key, b)
+			return b, nil
+		}
+		j, err := s.sched.submit(kind, key, work)
 		if err != nil {
-			return nil, err
-		}
-		b = append(b, '\n')
-		s.cache.put(key, b)
-		return b, nil
-	}
-	j, err := s.sched.submit(kind, work)
-	if err != nil {
-		if err == errQueueFull {
-			writeError(w, http.StatusServiceUnavailable, "queue_full", "job queue is full; retry later")
+			s.flight.mu.Unlock()
+			if err == errQueueFull {
+				writeError(w, http.StatusServiceUnavailable, "queue_full", "job queue is full; retry later")
+				return
+			}
+			writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
 			return
 		}
-		writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
-		return
+		s.flight.leaders[key] = j
+		s.flight.mu.Unlock()
+		if s.awaitJob(w, j, async, kind, "miss") {
+			return
+		}
+		// Our own queued job was cancelled via DELETE; retry once more.
 	}
+	writeError(w, http.StatusConflict, "cancelled",
+		"the job computing this request kept being cancelled; re-submit")
+}
+
+// serveStored answers a compute request from already-stored bytes:
+// directly for sync callers, as an immediately-done job for async ones.
+func (s *Server) serveStored(w http.ResponseWriter, b []byte, tier string, async bool, kind string) {
 	if async {
+		j, err := s.sched.completed(kind, b)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+			return
+		}
 		writeJSON(w, http.StatusAccepted, j.status())
 		return
 	}
+	writeResult(w, b, tier)
+}
+
+// awaitJob finishes a compute request against its (possibly shared)
+// job: async callers get the job handle immediately; sync callers wait
+// and receive the exact result bytes under the given cache-disposition
+// tier ("miss" for the singleflight leader, "coalesced" for followers).
+// It reports false — response unwritten — when the job turns out
+// cancelled (a follower can attach in the window between a DELETE and
+// the flight-group drop); the caller retries the whole miss path so
+// the requester gets a computation, not someone else's cancellation.
+func (s *Server) awaitJob(w http.ResponseWriter, j *job, async bool, kind, tier string) bool {
+	if async {
+		st := j.status()
+		if st.Status == jobCancelled {
+			return false
+		}
+		if tier == "coalesced" {
+			// Async followers answer with the leader's job document,
+			// which has no header of its own; expose the coalescing
+			// here instead.
+			w.Header().Set("X-Htdp-Cache", tier)
+		}
+		writeJSON(w, http.StatusAccepted, st)
+		return true
+	}
 	j.wait()
 	st := j.status()
-	if st.Status == jobFailed {
+	switch st.Status {
+	case jobFailed:
 		writeError(w, http.StatusUnprocessableEntity, kind+"_failed", st.Error)
-		return
+	case jobCancelled:
+		return false
+	default:
+		writeResult(w, j.resultBytes(), tier)
 	}
-	writeResult(w, j.resultBytes(), false)
+	return true
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -449,6 +572,26 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// handleJobDelete answers DELETE /v1/jobs/{id}: cancel a still-queued
+// job. Running jobs cannot be interrupted and finished jobs have
+// nothing to cancel — both get 409. A cancelled singleflight leader is
+// removed from the flight group so the next identical request
+// recomputes instead of attaching to a dead job.
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown job "+r.PathValue("id"))
+		return
+	}
+	if err := s.sched.cancel(j); err != nil {
+		writeError(w, http.StatusConflict, "not_cancellable",
+			fmt.Sprintf("job %s is %s; only queued jobs can be cancelled", j.id, j.status().Status))
+		return
+	}
+	s.flight.drop(j.key, j)
+	writeJSON(w, http.StatusOK, j.status())
+}
+
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.sched.get(r.PathValue("id"))
 	if !ok {
@@ -457,9 +600,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	switch st := j.status(); st.Status {
 	case jobDone:
-		writeResult(w, j.resultBytes(), true)
+		writeResult(w, j.resultBytes(), "hit")
 	case jobFailed:
 		writeError(w, http.StatusUnprocessableEntity, st.Kind+"_failed", st.Error)
+	case jobCancelled:
+		writeError(w, http.StatusGone, "cancelled",
+			fmt.Sprintf("job %s was cancelled before running; re-submit the request", st.ID))
 	default:
 		writeError(w, http.StatusConflict, "not_finished",
 			fmt.Sprintf("job %s is %s; poll /v1/jobs/%s", st.ID, st.Status, st.ID))

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -10,7 +11,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"htdp/internal/data"
 	"htdp/internal/experiments"
@@ -40,21 +43,24 @@ func testCSV(t *testing.T, seed int64, n, d int) (string, *data.Dataset) {
 
 // newTestServer builds a server over a pool holding one CSV-backed
 // dataset named "csv".
-func newTestServer(t *testing.T, opt Options) (*httptest.Server, *data.SourcePool, string) {
+func newTestServer(t *testing.T, opt Options) (*httptest.Server, *Server, string) {
 	t.Helper()
 	path, _ := testCSV(t, 7, 240, 8)
 	pool := data.NewSourcePool()
 	if _, err := pool.RegisterCSV("csv", path, -1, false); err != nil {
 		t.Fatal(err)
 	}
-	srv := New(pool, opt)
+	srv, err := New(pool, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
 		srv.Close()
 		pool.Close()
 	})
-	return ts, pool, path
+	return ts, srv, path
 }
 
 func postJSON(t *testing.T, url string, body any) (int, http.Header, []byte) {
@@ -502,12 +508,12 @@ func TestSweepStreamingFromPool(t *testing.T) {
 }
 
 func TestSchedulerBackpressure(t *testing.T) {
-	s := newScheduler(1, 1)
+	s := newScheduler(1, 1, 0)
 	defer s.close()
 	block := make(chan struct{})
 	started := make(chan struct{})
 	// Occupy the single worker...
-	j1, err := s.submit("run", func() ([]byte, error) {
+	j1, err := s.submit("run", "", func(*job) ([]byte, error) {
 		close(started)
 		<-block
 		return []byte("a\n"), nil
@@ -517,12 +523,12 @@ func TestSchedulerBackpressure(t *testing.T) {
 	}
 	<-started
 	// ...fill the depth-1 queue...
-	j2, err := s.submit("run", func() ([]byte, error) { return []byte("b\n"), nil })
+	j2, err := s.submit("run", "", func(*job) ([]byte, error) { return []byte("b\n"), nil })
 	if err != nil {
 		t.Fatal(err)
 	}
 	// ...and the next submission is rejected, not queued.
-	if _, err := s.submit("run", func() ([]byte, error) { return nil, nil }); err != errQueueFull {
+	if _, err := s.submit("run", "", func(*job) ([]byte, error) { return nil, nil }); err != errQueueFull {
 		t.Fatalf("overfull submit err = %v, want errQueueFull", err)
 	}
 	close(block)
@@ -532,7 +538,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 		t.Fatalf("queued job state = %q", got)
 	}
 	// Failed jobs report their error; panics are contained.
-	j3, err := s.submit("run", func() ([]byte, error) { return nil, fmt.Errorf("boom") })
+	j3, err := s.submit("run", "", func(*job) ([]byte, error) { return nil, fmt.Errorf("boom") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -540,7 +546,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 	if st := j3.status(); st.Status != jobFailed || st.Error != "boom" {
 		t.Fatalf("failed job status = %+v", st)
 	}
-	j4, err := s.submit("run", func() ([]byte, error) { panic("kaboom") })
+	j4, err := s.submit("run", "", func(*job) ([]byte, error) { panic("kaboom") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -551,9 +557,9 @@ func TestSchedulerBackpressure(t *testing.T) {
 }
 
 func TestSchedulerSubmitAfterClose(t *testing.T) {
-	s := newScheduler(1, 4)
+	s := newScheduler(1, 4, 0)
 	s.close()
-	if _, err := s.submit("run", func() ([]byte, error) { return nil, nil }); err == nil {
+	if _, err := s.submit("run", "", func(*job) ([]byte, error) { return nil, nil }); err == nil {
 		t.Fatal("submit after close: expected error, not a panic or success")
 	}
 	if _, err := s.completed("run", []byte("x\n")); err == nil {
@@ -584,7 +590,10 @@ func TestUploadTooLarge(t *testing.T) {
 	if _, err := pool.RegisterCSV("csv", path, -1, false); err != nil {
 		t.Fatal(err)
 	}
-	srv := New(pool, Options{MaxUploadBytes: 16})
+	srv, err := New(pool, Options{MaxUploadBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()
@@ -628,26 +637,34 @@ func TestDeltaCanonicalizedAgainstDataset(t *testing.T) {
 	}
 }
 
-func TestCacheLRUEviction(t *testing.T) {
-	c := newCache(2)
-	c.put("a", []byte("1"))
-	c.put("b", []byte("2"))
-	if _, ok := c.get("a"); !ok {
+func TestStoreMemoryLRUEvictionByBytes(t *testing.T) {
+	c, err := newStore(8, "", 0) // memory-only, 8-byte bound
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.put("a", []byte("1111"))
+	c.put("b", []byte("2222"))
+	if _, _, ok := c.get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	c.put("c", []byte("3")) // evicts b (least recently used)
-	if _, ok := c.get("b"); ok {
+	c.put("c", []byte("3333")) // 12 bytes total: evicts b (least recently used)
+	if _, _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
-	if _, ok := c.get("a"); !ok {
-		t.Fatal("a should have survived")
+	if _, tier, ok := c.get("a"); !ok || tier != "hit" {
+		t.Fatalf("a should have survived in memory, tier=%q ok=%v", tier, ok)
 	}
-	if _, ok := c.get("c"); !ok {
+	if _, _, ok := c.get("c"); !ok {
 		t.Fatal("c should be present")
 	}
-	hits, misses, size := c.stats()
-	if hits != 3 || misses != 1 || size != 2 {
-		t.Fatalf("stats = %d/%d/%d, want 3/1/2", hits, misses, size)
+	// An entry bigger than the whole tier is refused, not thrashed.
+	c.put("huge", []byte("123456789"))
+	if _, _, ok := c.get("huge"); ok {
+		t.Fatal("oversized entry should not have been cached")
+	}
+	st := c.stats()
+	if st.Hits != 3 || st.Misses != 2 || st.MemEntries != 2 || st.MemBytes != 8 {
+		t.Fatalf("stats = %+v, want 3 hits, 2 misses, 2 entries, 8 bytes", st)
 	}
 }
 
@@ -682,5 +699,494 @@ func TestCanonicalization(t *testing.T) {
 		if _, err := bad.Canonical(); err == nil {
 			t.Errorf("expected canonicalization error for %+v", bad)
 		}
+	}
+}
+
+// deleteJob issues DELETE /v1/jobs/{id}.
+func deleteJob(t *testing.T, tsURL, id string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, tsURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestDiskTierCrashRestartRoundTrip is the crash-safety test of the
+// durable tier: results completed before a crash — simulated by
+// abandoning the server without draining it, with an interrupted
+// write's *.tmp litter on disk and a sweep still queued — are served
+// by a fresh server over the same -cachedir byte-identically, from the
+// disk tier; the in-flight request is simply recomputed (to the same
+// bytes, by the determinism contract).
+func TestDiskTierCrashRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := testCSV(t, 7, 240, 8)
+	pool := data.NewSourcePool()
+	defer pool.Close()
+	if _, err := pool.RegisterCSV("csv", path, -1, false); err != nil {
+		t.Fatal(err)
+	}
+
+	srv1, err := New(pool, Options{Workers: 1, QueueDepth: 4, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	reqA := RunRequest{Dataset: "csv", Algo: "fw", Eps: 2, Seed: 31, T: 4}
+	reqB := RunRequest{Dataset: "csv", Algo: "lasso", Eps: 1, Seed: 32, T: 3}
+	wantA := sequentialReference(t, path, reqA)
+	wantB := sequentialReference(t, path, reqB)
+	for _, c := range []struct {
+		req  RunRequest
+		want []byte
+	}{{reqA, wantA}, {reqB, wantB}} {
+		code, _, body := postJSON(t, ts1.URL+"/v1/run", c.req)
+		if code != 200 || !bytes.Equal(body, c.want) {
+			t.Fatalf("pre-crash run = %d, equal=%v", code, bytes.Equal(body, c.want))
+		}
+	}
+	// Occupy the single worker so the next submission stays queued —
+	// genuinely in flight at crash time.
+	release := make(chan struct{})
+	if _, err := srv1.sched.submit("run", "", func(*job) ([]byte, error) {
+		<-release
+		return []byte("x\n"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inflight := experiments.SweepRequest{Experiment: "abl-shrink-k", Reps: 1, Scale: 0.01, Seed: 9, Async: true}
+	if code, _, body := postJSON(t, ts1.URL+"/v1/sweep", inflight); code != 202 {
+		t.Fatalf("in-flight sweep = %d %q", code, body)
+	}
+	// Crash: stop accepting traffic, never drain, leave write litter.
+	if err := os.WriteFile(filepath.Join(dir, "interrupted-000.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	close(release) // let the abandoned scheduler goroutines exit
+
+	srv2, err := New(pool, Options{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	t.Cleanup(func() {
+		ts2.Close()
+		srv2.Close()
+	})
+	if _, err := os.Stat(filepath.Join(dir, "interrupted-000.tmp")); !os.IsNotExist(err) {
+		t.Fatal("restart should sweep crash-interrupted temp files")
+	}
+	// Completed results come back from the disk tier, bit-identical.
+	for _, c := range []struct {
+		req  RunRequest
+		want []byte
+	}{{reqA, wantA}, {reqB, wantB}} {
+		code, hdr, body := postJSON(t, ts2.URL+"/v1/run", c.req)
+		if code != 200 || hdr.Get("X-Htdp-Cache") != "disk" {
+			t.Fatalf("post-restart run = %d cache=%q, want 200 disk", code, hdr.Get("X-Htdp-Cache"))
+		}
+		if !bytes.Equal(body, c.want) {
+			t.Fatal("post-restart disk bytes differ from pre-crash bytes")
+		}
+	}
+	// Promoted to memory now; and the interrupted sweep is a plain miss.
+	if _, hdr, _ := postJSON(t, ts2.URL+"/v1/run", reqA); hdr.Get("X-Htdp-Cache") != "hit" {
+		t.Fatalf("promoted re-request cache = %q, want hit", hdr.Get("X-Htdp-Cache"))
+	}
+	sync := inflight
+	sync.Async = false
+	if code, hdr, _ := postJSON(t, ts2.URL+"/v1/sweep", sync); code != 200 || hdr.Get("X-Htdp-Cache") != "miss" {
+		t.Fatalf("interrupted sweep after restart = %d cache=%q, want 200 miss", code, hdr.Get("X-Htdp-Cache"))
+	}
+	code, metrics := get(t, ts2.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{"htdp_cache_disk_hits_total 2", "htdp_cache_disk_entries 3"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestSingleflightCoalescesConcurrentMisses is the singleflight
+// acceptance test: N concurrent identical misses schedule exactly one
+// job; the N−1 followers coalesce onto it (header "coalesced", metric
+// N−1) and every response is byte-identical to the sequential
+// reference. Run under -race this also exercises the flight group's
+// locking.
+func TestSingleflightCoalescesConcurrentMisses(t *testing.T) {
+	ts, srv, path := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+	// Occupy the single worker so the leader's job stays queued while
+	// the followers arrive: every one of the N requests must take the
+	// miss path.
+	release := make(chan struct{})
+	blocker, err := srv.sched.submit("run", "", func(*job) ([]byte, error) {
+		<-release
+		return []byte("x\n"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := RunRequest{Dataset: "csv", Algo: "fw", Eps: 2, Seed: 77, T: 4}
+	want := sequentialReference(t, path, req)
+
+	const n = 6
+	type reply struct {
+		code int
+		tier string
+		body []byte
+	}
+	replies := make(chan reply, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			b, err := json.Marshal(req)
+			if err != nil {
+				replies <- reply{code: -1}
+				return
+			}
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(b))
+			if err != nil {
+				replies <- reply{code: -1}
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			replies <- reply{code: resp.StatusCode, tier: resp.Header.Get("X-Htdp-Cache"), body: body}
+		}()
+	}
+	// All N requests miss and join the flight group before any compute
+	// runs; wait for the N−1 followers to have registered.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.flight.coalescedCount() != n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced = %d, want %d", srv.flight.coalescedCount(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	blocker.wait()
+
+	tiers := map[string]int{}
+	for i := 0; i < n; i++ {
+		r := <-replies
+		if r.code != 200 {
+			t.Fatalf("concurrent miss = %d", r.code)
+		}
+		if !bytes.Equal(r.body, want) {
+			t.Fatal("coalesced bytes differ from sequential reference")
+		}
+		tiers[r.tier]++
+	}
+	if tiers["miss"] != 1 || tiers["coalesced"] != n-1 {
+		t.Fatalf("cache headers = %v, want 1 miss + %d coalesced", tiers, n-1)
+	}
+	_, metrics := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), fmt.Sprintf("htdp_singleflight_coalesced_total %d", n-1)) {
+		t.Fatalf("metrics missing coalesced count %d:\n%s", n-1, metrics)
+	}
+	// Exactly one run job computed the result (plus the blocker): a
+	// third identical request is a plain memory hit.
+	if _, hdr, _ := postJSON(t, ts.URL+"/v1/run", req); hdr.Get("X-Htdp-Cache") != "hit" {
+		t.Fatalf("post-storm cache = %q, want hit", hdr.Get("X-Htdp-Cache"))
+	}
+}
+
+// TestSingleflightAsyncAttachesToSameJob: a duplicate async miss gets
+// the leader's job id instead of a second job.
+func TestSingleflightAsyncAttachesToSameJob(t *testing.T) {
+	ts, srv, _ := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+	release := make(chan struct{})
+	if _, err := srv.sched.submit("run", "", func(*job) ([]byte, error) {
+		<-release
+		return []byte("x\n"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	req := RunRequest{Dataset: "csv", Algo: "lasso", Eps: 1, Seed: 55, T: 3, Async: true}
+	code, _, body := postJSON(t, ts.URL+"/v1/run", req)
+	if code != 202 {
+		t.Fatalf("async miss = %d %q", code, body)
+	}
+	var leader JobStatus
+	if err := json.Unmarshal(body, &leader); err != nil {
+		t.Fatal(err)
+	}
+	code, hdr, body := postJSON(t, ts.URL+"/v1/run", req)
+	if code != 202 || hdr.Get("X-Htdp-Cache") != "coalesced" {
+		t.Fatalf("async follower = %d cache=%q", code, hdr.Get("X-Htdp-Cache"))
+	}
+	var follower JobStatus
+	if err := json.Unmarshal(body, &follower); err != nil {
+		t.Fatal(err)
+	}
+	if follower.ID != leader.ID {
+		t.Fatalf("follower job %s != leader job %s", follower.ID, leader.ID)
+	}
+	close(release)
+}
+
+// TestJobCancellation: DELETE /v1/jobs/{id} cancels a queued job; a
+// running or finished job is not cancellable; a cancelled job's result
+// is 410; and a cancelled singleflight leader does not wedge later
+// requests for the same key.
+func TestJobCancellation(t *testing.T) {
+	ts, srv, path := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+	release := make(chan struct{})
+	blocker, err := srv.sched.submit("run", "", func(*job) ([]byte, error) {
+		<-release
+		return []byte("x\n"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := RunRequest{Dataset: "csv", Algo: "fw", Eps: 2, Seed: 99, T: 3, Async: true}
+	code, _, body := postJSON(t, ts.URL+"/v1/run", req)
+	if code != 202 {
+		t.Fatalf("async submit = %d %q", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != jobQueued {
+		t.Fatalf("job status = %q, want queued (worker is occupied)", st.Status)
+	}
+
+	code, body = deleteJob(t, ts.URL, st.ID)
+	if code != 200 || !strings.Contains(string(body), `"cancelled"`) {
+		t.Fatalf("cancel = %d %q", code, body)
+	}
+	if code, body := get(t, ts.URL+"/v1/jobs/"+st.ID); code != 200 || !strings.Contains(string(body), `"cancelled"`) {
+		t.Fatalf("cancelled job doc = %d %q", code, body)
+	}
+	if code, body := get(t, ts.URL+"/v1/results/"+st.ID); code != 410 || !strings.Contains(string(body), "cancelled") {
+		t.Fatalf("cancelled result = %d %q, want 410", code, body)
+	}
+	// Cancelling twice, or cancelling a running job, conflicts.
+	if code, _ := deleteJob(t, ts.URL, st.ID); code != 409 {
+		t.Fatalf("double cancel = %d, want 409", code)
+	}
+	if code, _ := deleteJob(t, ts.URL, blocker.id); code != 409 {
+		t.Fatalf("cancel running = %d, want 409", code)
+	}
+	if code, _ := deleteJob(t, ts.URL, "job-999999"); code != 404 {
+		t.Fatalf("cancel unknown = %d, want 404", code)
+	}
+
+	// The worker skips the cancelled job, and the key is free again:
+	// the same request re-submitted computes normally.
+	close(release)
+	blocker.wait()
+	sync := req
+	sync.Async = false
+	want := sequentialReference(t, path, RunRequest{Dataset: "csv", Algo: "fw", Eps: 2, Seed: 99, T: 3})
+	code, hdr, body := postJSON(t, ts.URL+"/v1/run", sync)
+	if code != 200 || hdr.Get("X-Htdp-Cache") != "miss" {
+		t.Fatalf("post-cancel recompute = %d cache=%q", code, hdr.Get("X-Htdp-Cache"))
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("post-cancel bytes differ from sequential reference")
+	}
+	_, metrics := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), `htdp_jobs{status="cancelled"} 1`) {
+		t.Fatalf("metrics missing cancelled gauge:\n%s", metrics)
+	}
+}
+
+// TestJobTTLEviction drives the scheduler's age-based retention with an
+// injected clock: finished jobs past the TTL vanish from lookups, live
+// jobs never expire.
+func TestJobTTLEviction(t *testing.T) {
+	s := newScheduler(1, 4, time.Minute)
+	defer s.close()
+	var (
+		mu  sync.Mutex
+		now = time.Unix(1000, 0)
+	)
+	s.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+
+	quick, err := s.submit("run", "", func(*job) ([]byte, error) { return []byte("q\n"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick.wait()
+	release := make(chan struct{})
+	slow, err := s.submit("run", "", func(*job) ([]byte, error) {
+		<-release
+		return []byte("s\n"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.get(quick.id); !ok {
+		t.Fatal("fresh finished job should be retrievable")
+	}
+	advance(2 * time.Minute)
+	if _, ok := s.get(quick.id); ok {
+		t.Fatal("finished job should have expired past the TTL")
+	}
+	if _, ok := s.get(slow.id); !ok {
+		t.Fatal("live job must never expire")
+	}
+	if _, expired := s.counts(); expired != 1 {
+		t.Fatalf("expired count = %d, want 1", expired)
+	}
+	close(release)
+	slow.wait()
+}
+
+// readSSE consumes a /v1/jobs/{id}/events stream until its terminal
+// event, returning (eventName, decodedData) pairs.
+func readSSE(t *testing.T, url string) (names []string, payloads []string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("events = %d %q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var event, dta string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			dta = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if event == "" {
+				continue
+			}
+			names = append(names, event)
+			payloads = append(payloads, dta)
+			if event != "progress" {
+				return names, payloads // terminal event closes the stream
+			}
+			event, dta = "", ""
+		}
+	}
+	t.Fatalf("stream ended without a terminal event (got %v)", names)
+	return nil, nil
+}
+
+// TestSweepProgressAndSSE: an async sweep reports per-panel progress on
+// its job document and over SSE, finishing with a deterministic
+// done==total progress and a terminal event — and the progress
+// machinery must not change the result bytes.
+func TestSweepProgressAndSSE(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{Workers: 2})
+	req := experiments.SweepRequest{Experiment: "fig1", Reps: 1, Scale: 0.01, Seed: 5, Async: true}
+	code, _, body := postJSON(t, ts.URL+"/v1/sweep", req)
+	if code != 202 {
+		t.Fatalf("async sweep = %d %q", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	names, payloads := readSSE(t, ts.URL+"/v1/jobs/"+st.ID+"/events")
+	if names[len(names)-1] != "done" {
+		t.Fatalf("terminal event = %q, want done (events %v)", names[len(names)-1], names)
+	}
+	var lastProgress experiments.Progress
+	sawProgress := false
+	for i, name := range names[:len(names)-1] {
+		if name != "progress" {
+			t.Fatalf("unexpected event %q before terminal", name)
+		}
+		if err := json.Unmarshal([]byte(payloads[i]), &lastProgress); err != nil {
+			t.Fatal(err)
+		}
+		sawProgress = true
+	}
+	if !sawProgress {
+		t.Fatal("no progress events before the terminal event")
+	}
+	if lastProgress.Done != 3 || lastProgress.Total != 3 || lastProgress.Panel != "fig1(c)" {
+		t.Fatalf("last progress = %+v, want 3/3 fig1(c)", lastProgress)
+	}
+	var final JobStatus
+	if err := json.Unmarshal([]byte(payloads[len(payloads)-1]), &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != jobDone || final.Progress == nil || final.Progress.Done != 3 {
+		t.Fatalf("terminal payload = %+v", final)
+	}
+
+	// The job document carries the same terminal progress.
+	code, jb := get(t, ts.URL+"/v1/jobs/"+st.ID)
+	if code != 200 {
+		t.Fatalf("job doc = %d", code)
+	}
+	if err := json.Unmarshal(jb, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Progress == nil || st.Progress.Done != 3 || st.Progress.Total != 3 {
+		t.Fatalf("job progress = %+v, want 3/3", st.Progress)
+	}
+
+	// Result bytes match a direct RunSweep without any progress sink.
+	code, got := get(t, ts.URL+"/v1/results/"+st.ID)
+	if code != 200 {
+		t.Fatalf("results = %d", code)
+	}
+	panels, err := experiments.RunSweep(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(struct {
+		Experiment string              `json:"experiment"`
+		Panels     []experiments.Panel `json:"panels"`
+	}{Experiment: "fig1", Panels: panels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(got, want) {
+		t.Fatal("progress-observed sweep bytes differ from direct RunSweep")
+	}
+
+	// SSE on an already-finished job replays progress + terminal at once.
+	names, _ = readSSE(t, ts.URL+"/v1/jobs/"+st.ID+"/events")
+	if names[len(names)-1] != "done" {
+		t.Fatalf("finished-job SSE terminal = %v", names)
+	}
+	// SSE on an unknown job is a plain 404.
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown job events = %d", resp.StatusCode)
 	}
 }

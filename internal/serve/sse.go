@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// flight is the singleflight group of the compute endpoints: cache key
+// → the job currently computing it. Of N concurrent misses of one key,
+// exactly one becomes the leader (it registers here, under the same
+// lock section that checked for an existing leader); the other N−1
+// attach to the leader's job — sync followers block on it, async
+// followers receive its job id — and are counted in coalesced. The
+// determinism contract makes this purely an efficiency device: without
+// it the N jobs would all compute the same bytes.
+type flight struct {
+	mu        sync.Mutex
+	leaders   map[string]*job
+	coalesced int64
+}
+
+func newFlight() *flight {
+	return &flight{leaders: make(map[string]*job)}
+}
+
+// drop removes a finished (or cancelled) leader, if it still owns the
+// key — a newer leader for the same key is left in place.
+func (f *flight) drop(key string, j *job) {
+	if key == "" {
+		return
+	}
+	f.mu.Lock()
+	if f.leaders[key] == j {
+		delete(f.leaders, key)
+	}
+	f.mu.Unlock()
+}
+
+// coalescedCount returns the cumulative number of coalesced requests,
+// for /metrics.
+func (f *flight) coalescedCount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.coalesced
+}
+
+// handleJobEvents answers GET /v1/jobs/{id}/events with a Server-Sent
+// Events stream: one `progress` event per completed sweep panel (data:
+// the experiments.Progress JSON), then exactly one terminal event named
+// after the job's final state (`done`, `failed`, or `cancelled`; data:
+// the full job document), after which the stream closes. A job that is
+// already finished streams its last progress (if any) and the terminal
+// event immediately. Progress events are lossy for slow consumers —
+// intermediate panels may be skipped, never reordered — and the
+// terminal event always carries the final progress.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown job "+r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok { // unreachable with net/http servers; defensive for exotic mounts
+		writeError(w, http.StatusInternalServerError, "unsupported", "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch := j.subscribe()
+	defer j.unsubscribe(ch)
+	emit := func(name string, v any) {
+		b, err := json.Marshal(v)
+		if err != nil { // unreachable: both payload types marshal by construction
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, b)
+		fl.Flush()
+	}
+	for {
+		select {
+		case p := <-ch:
+			emit("progress", p)
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			// Drain progress that raced with completion, then emit the
+			// terminal event and close the stream.
+			for {
+				select {
+				case p := <-ch:
+					emit("progress", p)
+				default:
+					st := j.status()
+					emit(st.Status, st)
+					return
+				}
+			}
+		}
+	}
+}
