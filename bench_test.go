@@ -34,7 +34,10 @@ func benchFigure(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		panels := spec.Run(benchCfg)
+		panels, err := spec.Run(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(panels) == 0 {
 			b.Fatal("no panels")
 		}

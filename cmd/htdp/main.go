@@ -210,10 +210,16 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer base.Close()
 		cfg.Source = func(int64) (data.Source, error) { return base.Reopen() }
+		// Reopen ignores the seed — the factory is seed-invariant, so a
+		// batched trial can read the CSV once for its whole grid.
+		cfg.SharedSource = true
 	}
 	for _, s := range specs {
 		start := time.Now()
-		panels := s.Run(cfg)
+		panels, err := s.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", s.ID, err)
+		}
 		if !*csv {
 			fmt.Fprintf(w, "\n### %s — %s (reps=%d scale=%g, %.1fs)\n",
 				s.ID, s.Description, *reps, *scale, time.Since(start).Seconds())

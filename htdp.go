@@ -514,9 +514,15 @@ func ExecuteRun(src Source, q RunRequest) (*RunResult, error) { return serve.Exe
 
 // RunSweep runs one experiment registry sweep per the request,
 // optionally feeding the source-streaming experiments from the given
-// per-trial factory (nil for the default generators). An optional
-// progress callback (at most one) receives one SweepProgress event per
-// completed panel; it observes the sweep without changing its bytes.
+// factory (nil for the default generators). A non-nil factory must be
+// seed-invariant — same data regardless of the seed argument, like a
+// CSV reopen or a pool acquire — because batched trials read it once
+// and serve every grid point from that one pass; results are
+// bit-identical to opening per point. An optional progress callback
+// (at most one) receives one SweepProgress event per completed panel;
+// it observes the sweep without changing its bytes. Trial failures
+// come back as errors, never panics, and a failed sweep returns no
+// panels.
 func RunSweep(q SweepRequest, src func(seed int64) (Source, error), progress ...func(SweepProgress)) ([]Panel, error) {
 	return experiments.RunSweep(q, src, progress...)
 }

@@ -36,6 +36,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Extra carries custom b.ReportMetric measurements (the sweep
+	// benchmarks report passes/op — data reads per sweep). Recorded in
+	// the trajectory for inspection; Compare does not gate on it.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is a full suite run: environment, calibration, measurements.
@@ -145,6 +149,12 @@ func Run(filter string, rounds int, progress io.Writer) (Report, error) {
 				NsPerOp:     nsPerOp(r),
 				AllocsPerOp: r.AllocsPerOp(),
 				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			if len(r.Extra) > 0 {
+				res.Extra = make(map[string]float64, len(r.Extra))
+				for k, v := range r.Extra {
+					res.Extra[k] = v
+				}
 			}
 			if round == 0 || res.NsPerOp < best.NsPerOp {
 				best = res

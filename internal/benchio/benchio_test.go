@@ -3,6 +3,7 @@ package benchio
 import (
 	"bytes"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -64,7 +65,8 @@ func TestCompareIgnoresUnmatched(t *testing.T) {
 
 func TestReportRoundTrip(t *testing.T) {
 	rep := sampleReport(42.5,
-		Result{Name: "fig:fig1", Runs: 3, NsPerOp: 123456, AllocsPerOp: 7, BytesPerOp: 8888})
+		Result{Name: "fig:fig1", Runs: 3, NsPerOp: 123456, AllocsPerOp: 7, BytesPerOp: 8888,
+			Extra: map[string]float64{"passes/op": 4}})
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
 	if err := WriteFile(path, rep); err != nil {
 		t.Fatal(err)
@@ -73,7 +75,7 @@ func TestReportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.CalibNs != rep.CalibNs || len(got.Results) != 1 || got.Results[0] != rep.Results[0] {
+	if got.CalibNs != rep.CalibNs || len(got.Results) != 1 || !reflect.DeepEqual(got.Results[0], rep.Results[0]) {
 		t.Fatalf("round trip mismatch: %+v", got)
 	}
 }

@@ -2,6 +2,7 @@ package benchio
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"htdp/internal/core"
@@ -32,12 +33,19 @@ func init() {
 		Register("fig:"+spec.ID, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if panels := spec.Run(figCfg); len(panels) == 0 {
+				panels, err := spec.Run(figCfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(panels) == 0 {
 					b.Fatal("no panels")
 				}
 			}
 		})
 	}
+
+	Register("sweep:streaming-batched", benchSweepPasses(false))
+	Register("sweep:streaming-pointwise", benchSweepPasses(true))
 
 	Register("kernel:robust-term", benchRobustTerm)
 	Register("kernel:catoni-chunk-seq", benchCatoniChunk(1))
@@ -49,6 +57,48 @@ func init() {
 	Register("kernel:expmech-l1", benchExpMechL1)
 	Register("kernel:fw-run-seq", benchFWRun(1))
 	Register("kernel:fw-run-par", benchFWRun(0))
+}
+
+// benchSweepPasses measures how many times one full "streaming" sweep
+// opens its (seed-invariant) data source — data passes, reported as
+// passes/op next to the usual ns/op. The batched engine reads once per
+// (rep, series): passes/op stays flat as the grid widens. The pointwise
+// reference reads once per (point, rep, series): passes/op is the
+// batched count times the grid width. The pair is the measured form of
+// the O(panels) → O(1) claim in DESIGN.md's "Batched sweeps".
+func benchSweepPasses(pointwise bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		spec, err := experiments.Lookup("streaming")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opens atomic.Int64
+		cfg := figCfg
+		cfg.Source = func(int64) (data.Source, error) {
+			opens.Add(1)
+			return data.LinearSource(9, data.LinearOpt{
+				N: 500, D: 20,
+				Feature: randx.LogNormal{Mu: 0, Sigma: 0.8},
+				Noise:   randx.Normal{Mu: 0, Sigma: 0.3},
+			}), nil
+		}
+		cfg.SharedSource = true
+		run := func() {
+			if _, err := spec.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if pointwise {
+				experiments.WithPointwiseEngine(run)
+			} else {
+				run()
+			}
+		}
+		b.ReportMetric(float64(opens.Load())/float64(b.N), "passes/op")
+	}
 }
 
 func benchRobustTerm(b *testing.B) {

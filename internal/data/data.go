@@ -62,14 +62,19 @@ func (d *Dataset) Split(T int) []*Dataset {
 }
 
 // Clone deep-copies the dataset so destructive transforms (shrinkage)
-// cannot leak into the caller's copy.
+// cannot leak into the caller's copy. A nil WStar stays nil: "no
+// planted parameter" (CSV data) must survive the copy — WStarOf treats
+// any non-nil slice, even empty, as a planted parameter.
 func (d *Dataset) Clone() *Dataset {
-	return &Dataset{
+	c := &Dataset{
 		Label: d.Label,
 		X:     d.X.Clone(),
 		Y:     vecmath.Clone(d.Y),
-		WStar: vecmath.Clone(d.WStar),
 	}
+	if d.WStar != nil {
+		c.WStar = vecmath.Clone(d.WStar)
+	}
+	return c
 }
 
 // Shrink returns a copy whose features and labels are entry-wise

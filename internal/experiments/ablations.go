@@ -38,8 +38,11 @@ func splitVsFullAblation() Spec {
 	return Spec{
 		ID:          "abl-split-vs-full",
 		Description: "Ablation: data-splitting (Algorithm 1) vs full-data robust DP-FW with advanced composition (open problem after Theorem 3)",
-		Run: func(cfg Config) []Panel {
-			cfg = cfg.withDefaults()
+		Run: func(cfg Config) ([]Panel, error) {
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				return nil, err
+			}
 			const d = 200
 			n := cfg.n(10000)
 			feature := randx.LogNormal{Mu: 0, Sigma: math.Sqrt(0.6)}
@@ -51,26 +54,29 @@ func splitVsFullAblation() Spec {
 			p := Panel{Figure: "abl-split-vs-full", Name: "a",
 				XLabel: "eps", YLabel: "excess risk",
 				Title: fmt.Sprintf("split (ε-DP) vs full-data ((ε,δ)-DP), n=%d, d=%d", n, d)}
-			p.Series = append(p.Series, sweep(cfg, "split(alg1)", epsGrid, 0, func(r *randx.RNG, eps float64) float64 {
+			addSeries(&p, &err, cfg, "split(alg1)", epsGrid, 0, func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 				ds := gen(r)
 				w, err := core.FrankWolfe(ds, core.FWOptions{Loss: loss.Squared{}, Domain: dom, Eps: eps, Rng: r.Split()})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
-				return excessVsWStar(loss.Squared{}, w, ds)
-			}))
-			p.Series = append(p.Series, sweep(cfg, "full-data", epsGrid, 1, func(r *randx.RNG, eps float64) float64 {
+				return excessVsWStar(loss.Squared{}, w, ds), nil
+			})
+			addSeries(&p, &err, cfg, "full-data", epsGrid, 1, func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 				ds := gen(r)
 				w, err := core.FullDataFW(ds, core.FullDataFWOptions{
 					Loss: loss.Squared{}, Domain: dom, Eps: eps, Delta: deltaFor(n), Rng: r.Split(),
 				})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
-				return excessVsWStar(loss.Squared{}, w, ds)
-			}))
+				return excessVsWStar(loss.Squared{}, w, ds), nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			cfg.panelDone(1, 1, p)
-			return []Panel{p}
+			return []Panel{p}, nil
 		},
 	}
 }
@@ -83,8 +89,11 @@ func estimatorAblation() Spec {
 	return Spec{
 		ID:          "abl-estimators",
 		Description: "Ablation: Algorithm 1 vs clipping DP-FW [50], DP-GD [1], robust+Gaussian [57] (Fig-1 workload, d=400)",
-		Run: func(cfg Config) []Panel {
-			cfg = cfg.withDefaults()
+		Run: func(cfg Config) ([]Panel, error) {
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				return nil, err
+			}
 			const d = 400
 			n := cfg.n(10000)
 			// Heavier tails than Figure 1 (σ = 1.2 log-normal): the point
@@ -99,37 +108,37 @@ func estimatorAblation() Spec {
 			p := Panel{Figure: "abl-estimators", Name: "a",
 				XLabel: "eps", YLabel: "excess risk",
 				Title: fmt.Sprintf("gradient privatization strategies, n=%d, d=%d", n, d)}
-			p.Series = append(p.Series, sweep(cfg, "alg1-robust-fw", epsGrid, 0, func(r *randx.RNG, eps float64) float64 {
+			addSeries(&p, &err, cfg, "alg1-robust-fw", epsGrid, 0, func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 				ds := gen(r)
 				w, err := core.FrankWolfe(ds, core.FWOptions{Loss: loss.Squared{}, Domain: dom, Eps: eps, Rng: r.Split()})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
-				return excessVsWStar(loss.Squared{}, w, ds)
-			}))
-			p.Series = append(p.Series, sweep(cfg, "clip-fw[50]", epsGrid, 1, func(r *randx.RNG, eps float64) float64 {
+				return excessVsWStar(loss.Squared{}, w, ds), nil
+			})
+			addSeries(&p, &err, cfg, "clip-fw[50]", epsGrid, 1, func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 				ds := gen(r)
 				w, err := core.TalwarDPFW(ds, core.TalwarFWOptions{
 					Loss: loss.Squared{}, Domain: dom, Eps: eps, Delta: deltaFor(n),
 					GradBound: 2, T: 30, Rng: r.Split(),
 				})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
-				return excessVsWStar(loss.Squared{}, w, ds)
-			}))
-			p.Series = append(p.Series, sweep(cfg, "dp-gd[1]", epsGrid, 2, func(r *randx.RNG, eps float64) float64 {
+				return excessVsWStar(loss.Squared{}, w, ds), nil
+			})
+			addSeries(&p, &err, cfg, "dp-gd[1]", epsGrid, 2, func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 				ds := gen(r)
 				w, err := core.DPGD(ds, core.DPGDOptions{
 					Loss: loss.Squared{}, Eps: eps, Delta: deltaFor(n),
 					Project: dom.Project, Clip: 2, LR: 0.01, T: 30, Rng: r.Split(),
 				})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
-				return excessVsWStar(loss.Squared{}, w, ds)
-			}))
-			p.Series = append(p.Series, sweep(cfg, "robust-gauss[57]", epsGrid, 3, func(r *randx.RNG, eps float64) float64 {
+				return excessVsWStar(loss.Squared{}, w, ds), nil
+			})
+			addSeries(&p, &err, cfg, "robust-gauss[57]", epsGrid, 3, func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 				ds := gen(r)
 				w, err := core.RobustGaussianGD(ds, core.RobustGaussianGDOptions{
 					Loss: loss.Squared{}, Eps: eps, Delta: deltaFor(n),
@@ -137,12 +146,15 @@ func estimatorAblation() Spec {
 					LR:      0.01, T: 20, S: 10, Rng: r.Split(),
 				})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
-				return excessVsWStar(loss.Squared{}, w, ds)
-			}))
+				return excessVsWStar(loss.Squared{}, w, ds), nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			cfg.panelDone(1, 1, p)
-			return []Panel{p}
+			return []Panel{p}, nil
 		},
 	}
 }
@@ -154,8 +166,11 @@ func alg1VsAlg2Ablation() Spec {
 	return Spec{
 		ID:          "abl-alg1-vs-alg2",
 		Description: "Ablation: Algorithm 1 (ε-DP robust FW) vs Algorithm 2 (shrinkage, (ε,δ)-DP) on the same LASSO workload",
-		Run: func(cfg Config) []Panel {
-			cfg = cfg.withDefaults()
+		Run: func(cfg Config) ([]Panel, error) {
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				return nil, err
+			}
 			const d = 200
 			n := cfg.n(10000)
 			feature := randx.LogNormal{Mu: 0, Sigma: math.Sqrt(0.6)}
@@ -167,24 +182,27 @@ func alg1VsAlg2Ablation() Spec {
 			p := Panel{Figure: "abl-alg1-vs-alg2", Name: "a",
 				XLabel: "eps", YLabel: "excess risk",
 				Title: fmt.Sprintf("theory-better vs practice-better, n=%d, d=%d", n, d)}
-			p.Series = append(p.Series, sweep(cfg, "alg1", epsGrid, 0, func(r *randx.RNG, eps float64) float64 {
+			addSeries(&p, &err, cfg, "alg1", epsGrid, 0, func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 				ds := gen(r)
 				w, err := core.FrankWolfe(ds, core.FWOptions{Loss: loss.Squared{}, Domain: dom, Eps: eps, Rng: r.Split()})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
-				return excessVsWStar(loss.Squared{}, w, ds)
-			}))
-			p.Series = append(p.Series, sweep(cfg, "alg2", epsGrid, 1, func(r *randx.RNG, eps float64) float64 {
+				return excessVsWStar(loss.Squared{}, w, ds), nil
+			})
+			addSeries(&p, &err, cfg, "alg2", epsGrid, 1, func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 				ds := gen(r)
 				w, err := core.Lasso(ds, core.LassoOptions{Eps: eps, Delta: deltaFor(n), Rng: r.Split()})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
-				return excessVsWStar(loss.Squared{}, w, ds)
-			}))
+				return excessVsWStar(loss.Squared{}, w, ds), nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			cfg.panelDone(1, 1, p)
-			return []Panel{p}
+			return []Panel{p}, nil
 		},
 	}
 }
@@ -196,8 +214,11 @@ func shrinkKAblation() Spec {
 	return Spec{
 		ID:          "abl-shrink-k",
 		Description: "Ablation: shrinkage threshold K sweep for Algorithm 2 (bias vs noise trade-off)",
-		Run: func(cfg Config) []Panel {
-			cfg = cfg.withDefaults()
+		Run: func(cfg Config) ([]Panel, error) {
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				return nil, err
+			}
 			const d = 200
 			n := cfg.n(10000)
 			feature := randx.LogNormal{Mu: 0, Sigma: math.Sqrt(0.6)}
@@ -213,18 +234,21 @@ func shrinkKAblation() Spec {
 			p := Panel{Figure: "abl-shrink-k", Name: "a",
 				XLabel: "K", YLabel: "excess risk",
 				Title: fmt.Sprintf("K sweep around theory default %.3g (ε=1, n=%d, d=%d)", kStar, n, d)}
-			p.Series = append(p.Series, sweep(cfg, "alg2", xs, 0, func(r *randx.RNG, k float64) float64 {
+			addSeries(&p, &err, cfg, "alg2", xs, 0, func(_ *trialCtx, r *randx.RNG, k float64) (float64, error) {
 				ds := data.Linear(r, data.LinearOpt{N: n, D: d, Feature: feature, Noise: noise})
 				w, err := core.Lasso(ds, core.LassoOptions{
 					Eps: 1, Delta: deltaFor(n), K: k, T: T, Rng: r.Split(),
 				})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
-				return excessVsWStar(loss.Squared{}, w, ds)
-			}))
+				return excessVsWStar(loss.Squared{}, w, ds), nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			cfg.panelDone(1, 1, p)
-			return []Panel{p}
+			return []Panel{p}, nil
 		},
 	}
 }
@@ -236,8 +260,11 @@ func selectionAblation() Spec {
 	return Spec{
 		ID:          "abl-selection",
 		Description: "Ablation: Algorithm 3 vs exact IHT — the price of private selection and release",
-		Run: func(cfg Config) []Panel {
-			cfg = cfg.withDefaults()
+		Run: func(cfg Config) ([]Panel, error) {
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				return nil, err
+			}
 			const d, sStar = 400, 10
 			n := cfg.n(50000)
 			feature := randx.Normal{Mu: 0, Sigma: math.Sqrt(5)}
@@ -253,24 +280,27 @@ func selectionAblation() Spec {
 			p := Panel{Figure: "abl-selection", Name: "a",
 				XLabel: "eps", YLabel: "‖ŵ−w*‖²",
 				Title: fmt.Sprintf("private vs exact IHT, n=%d, d=%d, s*=%d", n, d, sStar)}
-			p.Series = append(p.Series, sweep(cfg, "alg3", epsGrid, 0, func(r *randx.RNG, eps float64) float64 {
+			addSeries(&p, &err, cfg, "alg3", epsGrid, 0, func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 				ds := gen(r)
 				w, err := core.SparseLinReg(ds, core.SparseLinRegOptions{
 					Eps: eps, Delta: deltaFor(n), SStar: sStar, S: sStar + 2,
 					Eta0: 0.05, T: 3, Rng: r.Split(),
 				})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
-				return estErr(w, ds.WStar)
-			}))
-			p.Series = append(p.Series, sweep(cfg, "exact-iht", epsGrid, 1, func(r *randx.RNG, _ float64) float64 {
+				return estErr(w, ds.WStar), nil
+			})
+			addSeries(&p, &err, cfg, "exact-iht", epsGrid, 1, func(_ *trialCtx, r *randx.RNG, _ float64) (float64, error) {
 				ds := gen(r)
 				w := core.NonprivateIHT(ds, 2*sStar, 30, 0.15)
-				return estErr(w, ds.WStar)
-			}))
+				return estErr(w, ds.WStar), nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			cfg.panelDone(1, 1, p)
-			return []Panel{p}
+			return []Panel{p}, nil
 		},
 	}
 }
@@ -283,8 +313,11 @@ func lowerBoundCheck() Spec {
 	return Spec{
 		ID:          "lowerbound",
 		Description: "Theorem 9 check: sparse-mean-estimation error of Algorithm 5 vs the private minimax floor",
-		Run: func(cfg Config) []Panel {
-			cfg = cfg.withDefaults()
+		Run: func(cfg Config) ([]Panel, error) {
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				return nil, err
+			}
 			const d, sStar = 200, 5
 			tau := 1.0
 			// Paper-scale sizes {2e4, 5e4, 1e5, 2e5}; the default
@@ -296,7 +329,7 @@ func lowerBoundCheck() Spec {
 			p := Panel{Figure: "lowerbound", Name: "a",
 				XLabel: "n", YLabel: "E‖ŵ−µ‖²",
 				Title: fmt.Sprintf("measured error vs Theorem-9 floor (d=%d, s*=%d, ε=1)", d, sStar)}
-			p.Series = append(p.Series, sweep(cfg, "alg5-measured", ns, 0, func(r *randx.RNG, nf float64) float64 {
+			addSeries(&p, &err, cfg, "alg5-measured", ns, 0, func(_ *trialCtx, r *randx.RNG, nf float64) (float64, error) {
 				n := int(nf)
 				mu := vecmath.Scale(data.SparseWStar(r, d, sStar), 0.5)
 				x := vecmath.NewMat(n, d)
@@ -313,11 +346,14 @@ func lowerBoundCheck() Spec {
 					Eta: 0.45, Rng: r.Split(),
 				})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
 				diff := vecmath.Dist2(w, mu)
-				return diff * diff
-			}))
+				return diff * diff, nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			floor := Series{Name: "theorem9-floor"}
 			for _, nf := range ns {
 				floor.X = append(floor.X, nf)
@@ -326,7 +362,7 @@ func lowerBoundCheck() Spec {
 			}
 			p.Series = append(p.Series, floor)
 			cfg.panelDone(1, 1, p)
-			return []Panel{p}
+			return []Panel{p}, nil
 		},
 	}
 }

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"htdp/internal/data"
+	"htdp/internal/parallel"
+	"htdp/internal/randx"
+)
+
+// This file is the sweep engine: the scheduling of a series' (point,
+// rep) trials onto worker goroutines, and nothing else. Two engines
+// share one trial contract:
+//
+//   - sweepBatched (the default) hands each worker a whole rep: the
+//     trial walks the full x-grid point by point, sharing one trialCtx —
+//     so a seed-invariant data source is read once per (trial, series)
+//     and every grid point is served from memory;
+//   - sweepPointwise (the pre-batching reference) hands each worker one
+//     (point, rep) pair with a fresh trialCtx, re-reading the source for
+//     every point.
+//
+// Both derive every trial's RNG from pointSeed — a pure function of
+// (series, point, rep), never of the schedule — and both evaluate the
+// same trial closure on the same streams, so their results are
+// bit-identical; TestEnginesBitIdentical and testdata/sweep_golden.json
+// hold the two to that. Errors (and recovered panics) travel out of the
+// worker through per-rep slots, picked deterministically in index order
+// after the wait; a failure flips an atomic flag so in-flight reps stop
+// early, which can change which error is reported but never the result
+// bytes — a failed sweep returns no results at all.
+
+// trialFn runs one trial of one grid point and returns the measured
+// error. The RNG is private to the trial; the trialCtx carries the
+// state a batched trial shares across its points (today: the
+// materialized rows of a shared source). Trials must not share other
+// state unless it is read-only, and must return failures — the engine
+// additionally converts panics to errors as a barrier of last resort.
+type trialFn func(tc *trialCtx, r *randx.RNG, x float64) (float64, error)
+
+// sweepEngine is the active trial scheduler. Tests and benchmarks swap
+// in sweepPointwise via WithPointwiseEngine to measure and pin the
+// batched engine against the reference; everything else runs batched.
+var sweepEngine = sweepBatched
+
+// WithPointwiseEngine runs fn with the pre-batching pointwise reference
+// engine swapped in — one data pass per (trial, series, point), fresh
+// trial context per point. For equivalence tests and the benchio
+// sweep-passes benchmarks only; not safe for concurrent use.
+func WithPointwiseEngine(fn func()) {
+	sweepEngine = sweepPointwise
+	defer func() { sweepEngine = sweepBatched }()
+	fn()
+}
+
+// pointSeed derives the deterministic RNG stream of one (series, point,
+// rep) trial from the base seed. Every engine must use this exact
+// derivation: it is what keeps results independent of scheduling,
+// worker count, and engine choice.
+func pointSeed(seed, seedOff int64, xi, rep int) int64 {
+	return seed + seedOff*1_000_003 + int64(xi)*10_007 + int64(rep)
+}
+
+// safeTrial evaluates one trial with a recover barrier on the calling
+// goroutine — the fix for the crash class where a trial panic inside a
+// sweep worker could kill the whole process, because every recover
+// (RunSweep's, the serving scheduler's) sat on a different goroutine.
+func safeTrial(f trialFn, tc *trialCtx, r *randx.RNG, x float64) (y float64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("trial panicked: %v", p)
+		}
+	}()
+	return f(tc, r, x)
+}
+
+// sweepWorkers clamps the trial-level worker count to the number of
+// schedulable units.
+func sweepWorkers(parallelism, units int) int {
+	workers := parallel.Workers(parallelism)
+	if workers > units {
+		workers = units
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+func newResults(points, reps int) [][]float64 {
+	out := make([][]float64, points)
+	for i := range out {
+		out[i] = make([]float64, reps)
+	}
+	return out
+}
+
+// firstError returns the lowest-indexed recorded failure — a
+// deterministic choice among whatever the racing workers recorded.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepBatched schedules one rep per worker unit: the rep's trial walks
+// the whole x-grid sequentially, each point on its own pointSeed
+// stream, all points sharing one trialCtx. With a shared (seed-
+// invariant) source that is one data pass per (rep, series) — the
+// O(panels) → O(1) pass collapse of the batched engine — and with the
+// default per-seed generators it is plain rep-level parallelism with
+// unchanged per-point semantics.
+func sweepBatched(cfg Config, xs []float64, seedOff int64, f trialFn) ([][]float64, error) {
+	results := newResults(len(xs), cfg.Reps)
+	errs := make([]error, cfg.Reps)
+	var failed atomic.Bool
+	reps := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < sweepWorkers(cfg.Parallelism, cfg.Reps); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range reps {
+				tc := newTrialCtx(cfg)
+				for xi := range xs {
+					if failed.Load() {
+						break // a failed sweep returns no results; stop early
+					}
+					y, err := safeTrial(f, tc, randx.New(pointSeed(cfg.Seed, seedOff, xi, rep)), xs[xi])
+					if err != nil {
+						errs[rep] = fmt.Errorf("x=%v rep %d: %w", xs[xi], rep, err)
+						failed.Store(true)
+						break
+					}
+					results[xi][rep] = y
+				}
+			}
+		}()
+	}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		reps <- rep
+	}
+	close(reps)
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// sweepPointwise is the pre-batching reference: one (point, rep) pair
+// per worker unit, fresh trialCtx per pair, so every point re-reads its
+// data source. Kept runnable (not build-tagged away) because the
+// equivalence tests and the benchio sweep-passes benchmarks execute it
+// against sweepBatched.
+func sweepPointwise(cfg Config, xs []float64, seedOff int64, f trialFn) ([][]float64, error) {
+	type job struct{ xi, rep int }
+	results := newResults(len(xs), cfg.Reps)
+	errs := make([]error, len(xs)*cfg.Reps)
+	var failed atomic.Bool
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < sweepWorkers(cfg.Parallelism, cfg.Reps*len(xs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if failed.Load() {
+					continue
+				}
+				tc := newTrialCtx(cfg)
+				y, err := safeTrial(f, tc, randx.New(pointSeed(cfg.Seed, seedOff, j.xi, j.rep)), xs[j.xi])
+				if err != nil {
+					errs[j.xi*cfg.Reps+j.rep] = fmt.Errorf("x=%v rep %d: %w", xs[j.xi], j.rep, err)
+					failed.Store(true)
+					continue
+				}
+				results[j.xi][j.rep] = y
+			}
+		}()
+	}
+	for xi := range xs {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			jobs <- job{xi, rep}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// maxSharedBytes bounds the rows a trialCtx will hold resident to share
+// one data pass across grid points (256 MiB of float64s). Beyond it the
+// trial falls back to re-reading the source per point — slower, never
+// different: the shared source is seed-invariant either way.
+const maxSharedBytes = 256 << 20
+
+// trialCtx is the per-trial shared state of the batched engine: one
+// instance spans all grid points of one rep (sweepBatched) or exactly
+// one point (sweepPointwise). Its only current cargo is the
+// materialized row block of a shared source.
+type trialCtx struct {
+	cfg    Config
+	shared *data.Dataset // rows of the shared source, nil until first openSource
+}
+
+func newTrialCtx(cfg Config) *trialCtx { return &trialCtx{cfg: cfg} }
+
+// openSource opens the trial's data source for one grid point. With a
+// seed-invariant factory (Config.SharedSource) the first point
+// materializes the rows — one pass over the data — and every point,
+// including the first, receives an in-memory view; chunk contents are
+// bit-identical to the factory's own source by the data.Source
+// contract. Otherwise each call opens a fresh source from the factory
+// with the given seed, exactly as the pointwise engine always did. The
+// caller owns the returned source and must Close it (views close as
+// no-ops; the materialized block belongs to the trialCtx).
+func (tc *trialCtx) openSource(open func(seed int64) (data.Source, error), seed int64) (data.Source, error) {
+	if !tc.cfg.SharedSource || tc.cfg.Source == nil {
+		return open(seed)
+	}
+	if tc.shared == nil {
+		src, err := open(seed)
+		if err != nil {
+			return nil, err
+		}
+		if int64(src.N())*int64(src.D()+1)*8 > maxSharedBytes {
+			return src, nil // too large to hold; stream this point directly
+		}
+		ds, err := data.Materialize(src)
+		if err != nil {
+			src.Close()
+			return nil, err
+		}
+		// Clone: a backend may serve Materialize from a cache slot it
+		// owns; the trialCtx needs rows that outlive the source.
+		tc.shared = ds.Clone()
+		if err := src.Close(); err != nil {
+			tc.shared = nil
+			return nil, err
+		}
+	}
+	return data.NewMemSource(tc.shared), nil
+}

@@ -52,30 +52,36 @@ func fwFigure(id, desc string, logistic bool, feature, noise randx.Dist, paperN 
 		}
 		return core.NonprivateFW(ds, l, polytope.NewL1Ball(ds.D(), 1), 80, nil)
 	}
-	trial := func(r *randx.RNG, n, d int, eps float64) float64 {
+	trial := func(r *randx.RNG, n, d int, eps float64) (float64, error) {
 		ds := genPolytopeData(r, n, d, feature, noise, logistic)
 		w, err := core.FrankWolfe(ds, core.FWOptions{
 			Loss: l, Domain: polytope.NewL1Ball(d, 1), Eps: eps, Rng: r.Split(),
 		})
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
-		return loss.ExcessRisk(l, w, reference(ds), ds.X, ds.Y)
+		return loss.ExcessRisk(l, w, reference(ds), ds.X, ds.Y), nil
 	}
 	return Spec{
 		ID:          id,
 		Description: desc,
-		Run: func(cfg Config) []Panel {
-			cfg = cfg.withDefaults()
+		Run: func(cfg Config) ([]Panel, error) {
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				return nil, err
+			}
 			n0 := cfg.n(paperN)
 			// (a) error vs ε at fixed n, one series per dimension.
 			pa := Panel{Figure: id, Name: "a", XLabel: "eps", YLabel: "excess risk",
 				Title: fmt.Sprintf("error vs ε, n=%d", n0)}
 			for si, d := range dimGrid {
 				d := d
-				pa.Series = append(pa.Series, sweep(cfg, fmt.Sprintf("d=%d", d), epsGrid, int64(si), func(r *randx.RNG, eps float64) float64 {
+				addSeries(&pa, &err, cfg, fmt.Sprintf("d=%d", d), epsGrid, int64(si), func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 					return trial(r, n0, d, eps)
-				}))
+				})
+			}
+			if err != nil {
+				return nil, err
 			}
 			cfg.panelDone(1, 3, pa)
 			// (b) error vs n at ε=1.
@@ -87,24 +93,30 @@ func fwFigure(id, desc string, logistic bool, feature, noise randx.Dist, paperN 
 				Title: "error vs n, ε=1"}
 			for si, d := range dimGrid {
 				d := d
-				pb.Series = append(pb.Series, sweep(cfg, fmt.Sprintf("d=%d", d), ns, 100+int64(si), func(r *randx.RNG, n float64) float64 {
+				addSeries(&pb, &err, cfg, fmt.Sprintf("d=%d", d), ns, 100+int64(si), func(_ *trialCtx, r *randx.RNG, n float64) (float64, error) {
 					return trial(r, int(n), d, 1)
-				}))
+				})
+			}
+			if err != nil {
+				return nil, err
 			}
 			cfg.panelDone(2, 3, pb)
 			// (c) private vs non-private, ε=1, d=400.
 			pc := Panel{Figure: id, Name: "c", XLabel: "n", YLabel: "excess risk",
 				Title: "private (ε=1) vs non-private, d=400"}
-			pc.Series = append(pc.Series, sweep(cfg, "private", ns, 200, func(r *randx.RNG, n float64) float64 {
+			addSeries(&pc, &err, cfg, "private", ns, 200, func(_ *trialCtx, r *randx.RNG, n float64) (float64, error) {
 				return trial(r, int(n), 400, 1)
-			}))
-			pc.Series = append(pc.Series, sweep(cfg, "non-private", ns, 300, func(r *randx.RNG, n float64) float64 {
+			})
+			addSeries(&pc, &err, cfg, "non-private", ns, 300, func(_ *trialCtx, r *randx.RNG, n float64) (float64, error) {
 				ds := genPolytopeData(r, int(n), 400, feature, noise, logistic)
 				w := core.NonprivateFW(ds, l, polytope.NewL1Ball(400, 1), 150, nil)
-				return loss.ExcessRisk(l, w, reference(ds), ds.X, ds.Y)
-			}))
+				return loss.ExcessRisk(l, w, reference(ds), ds.X, ds.Y), nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			cfg.panelDone(3, 3, pc)
-			return []Panel{pa, pb, pc}
+			return []Panel{pa, pb, pc}, nil
 		},
 	}
 }
@@ -113,30 +125,36 @@ func fwFigure(id, desc string, logistic bool, feature, noise randx.Dist, paperN 
 // DP-FW with advanced composition) on linear regression.
 func lassoFigure(id, desc string, feature randx.Dist, paperN int) Spec {
 	noise := randx.Normal{Mu: 0, Sigma: math.Sqrt(0.1)}
-	trial := func(r *randx.RNG, n, d int, eps float64) float64 {
+	trial := func(r *randx.RNG, n, d int, eps float64) (float64, error) {
 		ds := data.Linear(r, data.LinearOpt{N: n, D: d, Feature: feature, Noise: noise})
 		w, err := core.Lasso(ds, core.LassoOptions{
 			Eps: eps, Delta: deltaFor(n), Rng: r.Split(),
 		})
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
-		return excessVsWStar(loss.Squared{}, w, ds)
+		return excessVsWStar(loss.Squared{}, w, ds), nil
 	}
 	dims := []int{100, 200, 400}
 	return Spec{
 		ID:          id,
 		Description: desc,
-		Run: func(cfg Config) []Panel {
-			cfg = cfg.withDefaults()
+		Run: func(cfg Config) ([]Panel, error) {
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				return nil, err
+			}
 			n0 := cfg.n(paperN)
 			pa := Panel{Figure: id, Name: "a", XLabel: "eps", YLabel: "excess risk",
 				Title: fmt.Sprintf("error vs ε, n=%d", n0)}
 			for si, d := range dims {
 				d := d
-				pa.Series = append(pa.Series, sweep(cfg, fmt.Sprintf("d=%d", d), epsGrid, int64(si), func(r *randx.RNG, eps float64) float64 {
+				addSeries(&pa, &err, cfg, fmt.Sprintf("d=%d", d), epsGrid, int64(si), func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 					return trial(r, n0, d, eps)
-				}))
+				})
+			}
+			if err != nil {
+				return nil, err
 			}
 			cfg.panelDone(1, 3, pa)
 			ns := []float64{1, 3, 5, 7, 9}
@@ -147,23 +165,29 @@ func lassoFigure(id, desc string, feature randx.Dist, paperN int) Spec {
 				Title: "error vs n, ε=1"}
 			for si, d := range dims {
 				d := d
-				pb.Series = append(pb.Series, sweep(cfg, fmt.Sprintf("d=%d", d), ns, 100+int64(si), func(r *randx.RNG, n float64) float64 {
+				addSeries(&pb, &err, cfg, fmt.Sprintf("d=%d", d), ns, 100+int64(si), func(_ *trialCtx, r *randx.RNG, n float64) (float64, error) {
 					return trial(r, int(n), d, 1)
-				}))
+				})
+			}
+			if err != nil {
+				return nil, err
 			}
 			cfg.panelDone(2, 3, pb)
 			pc := Panel{Figure: id, Name: "c", XLabel: "n", YLabel: "excess risk",
 				Title: "private (ε=1) vs non-private, d=200"}
-			pc.Series = append(pc.Series, sweep(cfg, "private", ns, 200, func(r *randx.RNG, n float64) float64 {
+			addSeries(&pc, &err, cfg, "private", ns, 200, func(_ *trialCtx, r *randx.RNG, n float64) (float64, error) {
 				return trial(r, int(n), 200, 1)
-			}))
-			pc.Series = append(pc.Series, sweep(cfg, "non-private", ns, 300, func(r *randx.RNG, n float64) float64 {
+			})
+			addSeries(&pc, &err, cfg, "non-private", ns, 300, func(_ *trialCtx, r *randx.RNG, n float64) (float64, error) {
 				ds := data.Linear(r, data.LinearOpt{N: int(n), D: 200, Feature: feature, Noise: noise})
 				w := core.NonprivateFW(ds, loss.Squared{}, polytope.NewL1Ball(200, 1), 100, nil)
-				return excessVsWStar(loss.Squared{}, w, ds)
-			}))
+				return excessVsWStar(loss.Squared{}, w, ds), nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			cfg.panelDone(3, 3, pc)
-			return []Panel{pa, pb, pc}
+			return []Panel{pa, pb, pc}, nil
 		},
 	}
 }
@@ -183,7 +207,7 @@ func ihtFigure(id, desc string, noise randx.Dist, paperN int) Spec {
 	// The Peeling noise scale grows like η₀·K²·s^{3/2}/m, so the figure
 	// uses a tight expanded support (s = s*+2), few rounds, and a small
 	// step to keep the ε/n/s* trends visible at sub-paper sample sizes.
-	trial := func(r *randx.RNG, n, d, sStar int, eps float64) float64 {
+	trial := func(r *randx.RNG, n, d, sStar int, eps float64) (float64, error) {
 		w := vecmath.Scale(data.SparseWStar(r, d, sStar), 0.5)
 		ds := data.Linear(r, data.LinearOpt{N: n, D: d, Feature: feature, Noise: noise, WStar: w})
 		got, err := core.SparseLinReg(ds, core.SparseLinRegOptions{
@@ -191,24 +215,30 @@ func ihtFigure(id, desc string, noise randx.Dist, paperN int) Spec {
 			Eta0: 0.05, T: 3, Rng: r.Split(),
 		})
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
 		dist := vecmath.Dist2(got, w)
-		return dist * dist
+		return dist * dist, nil
 	}
 	return Spec{
 		ID:          id,
 		Description: desc,
-		Run: func(cfg Config) []Panel {
-			cfg = cfg.withDefaults()
+		Run: func(cfg Config) ([]Panel, error) {
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				return nil, err
+			}
 			n0 := cfg.n(paperN)
 			pa := Panel{Figure: id, Name: "a", XLabel: "eps", YLabel: "excess risk",
 				Title: fmt.Sprintf("error vs ε, n=%d, s*=20", n0)}
 			for si, d := range dimGrid {
 				d := d
-				pa.Series = append(pa.Series, sweep(cfg, fmt.Sprintf("d=%d", d), epsGrid, int64(si), func(r *randx.RNG, eps float64) float64 {
+				addSeries(&pa, &err, cfg, fmt.Sprintf("d=%d", d), epsGrid, int64(si), func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 					return trial(r, n0, d, 20, eps)
-				}))
+				})
+			}
+			if err != nil {
+				return nil, err
 			}
 			cfg.panelDone(1, 3, pa)
 			ns := []float64{1, 3, 5, 7, 9}
@@ -219,21 +249,27 @@ func ihtFigure(id, desc string, noise randx.Dist, paperN int) Spec {
 				Title: "error vs n, ε=1, s*=20"}
 			for si, d := range dimGrid {
 				d := d
-				pb.Series = append(pb.Series, sweep(cfg, fmt.Sprintf("d=%d", d), ns, 100+int64(si), func(r *randx.RNG, n float64) float64 {
+				addSeries(&pb, &err, cfg, fmt.Sprintf("d=%d", d), ns, 100+int64(si), func(_ *trialCtx, r *randx.RNG, n float64) (float64, error) {
 					return trial(r, int(n), d, 20, 1)
-				}))
+				})
+			}
+			if err != nil {
+				return nil, err
 			}
 			cfg.panelDone(2, 3, pb)
 			pc := Panel{Figure: id, Name: "c", XLabel: "s*", YLabel: "excess risk",
 				Title: fmt.Sprintf("error vs sparsity, ε=1, n=%d", n0)}
 			for si, d := range dimGrid {
 				d := d
-				pc.Series = append(pc.Series, sweep(cfg, fmt.Sprintf("d=%d", d), sStarGrid, 200+int64(si), func(r *randx.RNG, s float64) float64 {
+				addSeries(&pc, &err, cfg, fmt.Sprintf("d=%d", d), sStarGrid, 200+int64(si), func(_ *trialCtx, r *randx.RNG, s float64) (float64, error) {
 					return trial(r, n0, d, int(s), 1)
-				}))
+				})
+			}
+			if err != nil {
+				return nil, err
 			}
 			cfg.panelDone(3, 3, pc)
-			return []Panel{pa, pb, pc}
+			return []Panel{pa, pb, pc}, nil
 		},
 	}
 }
@@ -242,30 +278,36 @@ func ihtFigure(id, desc string, noise randx.Dist, paperN int) Spec {
 // ℓ2-regularized logistic regression over the sparsity constraint.
 func sparseOptFigure(id, desc string, feature, noise randx.Dist, paperN int) Spec {
 	l := loss.RegLogistic{Lambda: 1e-3}
-	trial := func(r *randx.RNG, n, d, sStar int, eps float64) float64 {
+	trial := func(r *randx.RNG, n, d, sStar int, eps float64) (float64, error) {
 		w := data.SparseWStar(r, d, sStar)
 		ds := data.LogisticModel(r, data.LogisticOpt{N: n, D: d, Feature: feature, Noise: noise, WStar: w})
 		got, err := core.SparseOpt(ds, core.SparseOptOptions{
 			Loss: l, Eps: eps, Delta: deltaFor(n), SStar: sStar, Rng: r.Split(),
 		})
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
-		return excessVsWStar(l, got, ds)
+		return excessVsWStar(l, got, ds), nil
 	}
 	return Spec{
 		ID:          id,
 		Description: desc,
-		Run: func(cfg Config) []Panel {
-			cfg = cfg.withDefaults()
+		Run: func(cfg Config) ([]Panel, error) {
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				return nil, err
+			}
 			n0 := cfg.n(paperN)
 			pa := Panel{Figure: id, Name: "a", XLabel: "eps", YLabel: "excess risk",
 				Title: fmt.Sprintf("error vs ε, n=%d, s*=20", n0)}
 			for si, d := range dimGrid {
 				d := d
-				pa.Series = append(pa.Series, sweep(cfg, fmt.Sprintf("d=%d", d), epsGrid, int64(si), func(r *randx.RNG, eps float64) float64 {
+				addSeries(&pa, &err, cfg, fmt.Sprintf("d=%d", d), epsGrid, int64(si), func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 					return trial(r, n0, d, 20, eps)
-				}))
+				})
+			}
+			if err != nil {
+				return nil, err
 			}
 			cfg.panelDone(1, 3, pa)
 			ns := []float64{0.25, 0.5, 1, 2}
@@ -276,21 +318,27 @@ func sparseOptFigure(id, desc string, feature, noise randx.Dist, paperN int) Spe
 				Title: "error vs n, ε=1, s*=20"}
 			for si, d := range dimGrid {
 				d := d
-				pb.Series = append(pb.Series, sweep(cfg, fmt.Sprintf("d=%d", d), ns, 100+int64(si), func(r *randx.RNG, n float64) float64 {
+				addSeries(&pb, &err, cfg, fmt.Sprintf("d=%d", d), ns, 100+int64(si), func(_ *trialCtx, r *randx.RNG, n float64) (float64, error) {
 					return trial(r, int(n), d, 20, 1)
-				}))
+				})
+			}
+			if err != nil {
+				return nil, err
 			}
 			cfg.panelDone(2, 3, pb)
 			pc := Panel{Figure: id, Name: "c", XLabel: "s*", YLabel: "excess risk",
 				Title: fmt.Sprintf("error vs sparsity, ε=1, n=%d", n0)}
 			for si, d := range dimGrid {
 				d := d
-				pc.Series = append(pc.Series, sweep(cfg, fmt.Sprintf("d=%d", d), sStarGrid, 200+int64(si), func(r *randx.RNG, s float64) float64 {
+				addSeries(&pc, &err, cfg, fmt.Sprintf("d=%d", d), sStarGrid, 200+int64(si), func(_ *trialCtx, r *randx.RNG, s float64) (float64, error) {
 					return trial(r, n0, d, int(s), 1)
-				}))
+				})
+			}
+			if err != nil {
+				return nil, err
 			}
 			cfg.panelDone(3, 3, pc)
-			return []Panel{pa, pb, pc}
+			return []Panel{pa, pb, pc}, nil
 		},
 	}
 }
@@ -306,13 +354,16 @@ func realFigure(id, desc string, names []string, logistic bool) Spec {
 	return Spec{
 		ID:          id,
 		Description: desc,
-		Run: func(cfg Config) []Panel {
-			cfg = cfg.withDefaults()
+		Run: func(cfg Config) ([]Panel, error) {
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				return nil, err
+			}
 			var panels []Panel
 			for pi, name := range names {
 				spec, err := data.LookupReal(name)
 				if err != nil {
-					panic(err)
+					return nil, err
 				}
 				// Real data are fixed: one deterministic dataset per
 				// panel, fresh algorithm randomness per trial.
@@ -324,23 +375,27 @@ func realFigure(id, desc string, names []string, logistic bool) Spec {
 				p := Panel{Figure: id, Name: string(rune('a' + pi)),
 					XLabel: "eps", YLabel: "excess risk",
 					Title: fmt.Sprintf("%s (n=%d, d=%d)", name, ds.N(), ds.D())}
+				var serr error
 				for si, frac := range []float64{0.25, 0.5, 1.0} {
 					frac := frac
-					p.Series = append(p.Series, sweep(cfg, fmt.Sprintf("n=%.0f%%", frac*100), epsGrid, int64(pi*10+si), func(r *randx.RNG, eps float64) float64 {
+					addSeries(&p, &serr, cfg, fmt.Sprintf("n=%.0f%%", frac*100), epsGrid, int64(pi*10+si), func(_ *trialCtx, r *randx.RNG, eps float64) (float64, error) {
 						sub := ds.Subset(0, int(frac*float64(ds.N())))
 						w, err := core.FrankWolfe(sub, core.FWOptions{
 							Loss: l, Domain: dom, Eps: eps, Rng: r,
 						})
 						if err != nil {
-							panic(err)
+							return 0, err
 						}
-						return loss.Empirical(l, w, ds.X, ds.Y) - refRisk
-					}))
+						return loss.Empirical(l, w, ds.X, ds.Y) - refRisk, nil
+					})
+				}
+				if serr != nil {
+					return nil, serr
 				}
 				panels = append(panels, p)
 				cfg.panelDone(pi+1, len(names), p)
 			}
-			return panels
+			return panels, nil
 		},
 	}
 }

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/sweep_golden.json from the current engine")
+
+// goldenCfg is the fixture config of the cross-PR bit-identity golden:
+// cheap enough for CI, wide enough to run every registry entry.
+var goldenCfg = Config{Reps: 2, Scale: 0.01, Seed: 7}
+
+// goldenEntry is one experiment's pinned output.
+type goldenEntry struct {
+	ID     string  `json:"id"`
+	Panels []Panel `json:"panels"`
+}
+
+// runRegistry runs every registry entry at goldenCfg with the given
+// trial-level worker count and marshals the results in registry order.
+func runRegistry(t *testing.T, parallelism int) []byte {
+	t.Helper()
+	var out []goldenEntry
+	for _, spec := range Registry() {
+		cfg := goldenCfg
+		cfg.Parallelism = parallelism
+		panels, err := spec.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		out = append(out, goldenEntry{ID: spec.ID, Panels: panels})
+	}
+	b, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// TestSweepGolden pins every registry entry's panels, bit for bit,
+// against the committed fixture — the cross-PR guarantee that engine
+// rewrites (batched scheduling, shared data passes) never change result
+// bytes. Workers 1 and 4 must both match: parallelism trades wall-clock
+// only. Regenerate with
+//
+//	go test ./internal/experiments -run TestSweepGolden -update
+func TestSweepGolden(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full-registry equivalence is minutes of compute under the race detector; CI runs it in a dedicated non-race step")
+	}
+	path := filepath.Join("testdata", "sweep_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, runRegistry(t, 1), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got := runRegistry(t, workers)
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: panels differ from %s (regenerate with -update only if a result change is intended)", workers, path)
+		}
+	}
+}

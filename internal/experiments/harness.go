@@ -10,17 +10,21 @@
 // Sample sizes scale with Config.Scale so the full paper protocol
 // (Scale=1, Reps=20) and a quick laptop run (the defaults) share one
 // code path.
+//
+// Failures propagate as errors, never as panics: a trial returns
+// (value, error), the sweep engine carries the first failure out
+// through Spec.Run, and a recover barrier inside every trial converts
+// residual panics into errors on the same goroutine (see DESIGN.md,
+// "Batched sweeps") — which is what makes the serving layer's
+// "a bad request cannot take a worker down" contract actually hold.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"htdp/internal/data"
-	"htdp/internal/parallel"
-	"htdp/internal/randx"
 	"htdp/internal/vecmath"
 )
 
@@ -44,11 +48,20 @@ type Config struct {
 	// Source, when non-nil, supplies the source-streaming experiments
 	// ("streaming") with an out-of-core data source in place of their
 	// default on-demand generator; cmd/htdp's -stream flag wires a CSV
-	// file here. The factory is called once per trial with that trial's
-	// deterministic seed and the returned source is closed when the
-	// trial ends. Experiments that materialize data in memory ignore
-	// it.
+	// file here. The factory is called with a trial-derived seed and the
+	// returned source is closed before the trial ends. Experiments that
+	// materialize data in memory ignore it.
 	Source func(seed int64) (data.Source, error)
+	// SharedSource declares that Source is seed-invariant: every call
+	// returns a source over the same rows regardless of the seed (pooled
+	// CSVs, reopened files — anything that is not a per-seed generator).
+	// A batched trial then reads the data once and serves every grid
+	// point of its x-sweep from memory instead of re-reading per point.
+	// Results are bit-identical either way — the flag trades memory for
+	// data passes, nothing else. cmd/htdp's -stream and the serving
+	// layer's pooled datasets set it; leave it false for factories whose
+	// rows depend on the seed.
+	SharedSource bool
 	// Progress, when non-nil, is called after each panel of the sweep
 	// completes, from the goroutine running the sweep. It is pure
 	// observability: results are bit-identical with or without it.
@@ -78,7 +91,10 @@ func (c Config) panelDone(done, total int, p Panel) {
 	}
 }
 
-func (c Config) withDefaults() Config {
+// withDefaults resolves zero fields to their defaults and validates the
+// rest — an error, not a panic, so a bad config surfaces through
+// Spec.Run's error return like any other failure.
+func (c Config) withDefaults() (Config, error) {
 	if c.Reps == 0 {
 		c.Reps = 5
 	}
@@ -86,12 +102,12 @@ func (c Config) withDefaults() Config {
 		c.Scale = 0.1
 	}
 	if c.Scale < 0 || c.Scale > 1 {
-		panic(fmt.Sprintf("experiments: Scale %v outside (0,1]", c.Scale))
+		return c, fmt.Errorf("experiments: Scale %v outside (0,1]", c.Scale)
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	return c
+	return c, nil
 }
 
 // n scales a paper sample size, keeping at least 100 samples.
@@ -122,11 +138,18 @@ type Panel struct {
 	Series []Series
 }
 
-// Spec is a runnable experiment.
+// Spec is a runnable experiment. Run returns the completed panels or
+// the first trial failure; it never panics on data or algorithm errors.
 type Spec struct {
 	ID          string
 	Description string
-	Run         func(cfg Config) []Panel
+	// UsesSource marks the experiments that consume Config.Source (the
+	// source-streaming sweeps). For every other experiment a request
+	// carrying a dataset is rejected up front — the data would be
+	// silently ignored while fragmenting response caches by dataset
+	// name.
+	UsesSource bool
+	Run        func(cfg Config) ([]Panel, error)
 }
 
 // registry is populated by the figure files' init functions.
@@ -167,7 +190,10 @@ type SweepRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Dataset optionally names a pooled dataset for the source-streaming
 	// experiments; the serving layer resolves it to a Source factory.
-	// Experiments that generate their data ignore it.
+	// Only experiments with Spec.UsesSource accept it — for any other
+	// experiment a non-empty Dataset is rejected by Canonical, because
+	// the data would be ignored while caching identical result bytes
+	// under distinct keys.
 	Dataset string `json:"dataset,omitempty"`
 	// Parallelism is the trial-level worker count (0 = all cores). It
 	// trades wall-clock only — results are bit-identical at every
@@ -185,8 +211,12 @@ type SweepRequest struct {
 // mirrors Config.withDefaults but returns errors instead of panicking,
 // so a malformed request is a 400, not a crashed worker.
 func (q SweepRequest) Canonical() (SweepRequest, error) {
-	if _, err := Lookup(q.Experiment); err != nil {
+	spec, err := Lookup(q.Experiment)
+	if err != nil {
 		return q, err
+	}
+	if q.Dataset != "" && !spec.UsesSource {
+		return q, fmt.Errorf("experiments: %s does not stream from a source; it ignores dataset %q (drop the field, or pick a source-streaming experiment such as \"streaming\")", spec.ID, q.Dataset)
 	}
 	if q.Reps == 0 {
 		q.Reps = 5
@@ -209,15 +239,28 @@ func (q SweepRequest) Canonical() (SweepRequest, error) {
 
 // Config converts the request into a sweep Config, attaching the
 // optional per-trial source factory (nil for the default generators).
+// A non-nil factory is treated as seed-invariant — see RunSweep.
 func (q SweepRequest) Config(src func(seed int64) (data.Source, error)) Config {
-	return Config{Reps: q.Reps, Scale: q.Scale, Seed: q.Seed, Parallelism: q.Parallelism, Source: src}
+	return Config{
+		Reps: q.Reps, Scale: q.Scale, Seed: q.Seed, Parallelism: q.Parallelism,
+		Source: src, SharedSource: src != nil,
+	}
 }
 
-// RunSweep looks up and runs the requested experiment, converting the
-// harness's internal panics (trial errors, invalid configs) into
-// errors so a bad request cannot take a serving worker down. The
+// RunSweep looks up and runs the requested experiment. Trial failures
+// (bad data, algorithm errors, even panics inside a trial) come back as
+// errors, so a bad request cannot take a serving worker down. The
 // request's result-relevant defaults are resolved via Canonical while
 // its Parallelism is honored as given — it never changes result bytes.
+//
+// src, when non-nil, feeds the source-streaming experiments and must be
+// seed-invariant: every call returns a source over the same rows
+// (pooled datasets and reopened CSVs are; per-seed generators are not —
+// wire those through Config.Source directly with SharedSource left
+// false). The engine exploits the invariance by reading the data once
+// per trial instead of once per (trial, point); results are
+// bit-identical either way.
+//
 // An optional progress callback (at most one) receives one Progress
 // event per completed panel; it observes the sweep without affecting
 // its bytes.
@@ -232,6 +275,9 @@ func RunSweep(q SweepRequest, src func(seed int64) (data.Source, error), progres
 	if err != nil {
 		return nil, err
 	}
+	// Backstop only: Spec.Run propagates failures as errors and the
+	// engine recovers trial panics on their own goroutine; this catches
+	// nothing but harness bugs on the calling goroutine itself.
 	defer func() {
 		if r := recover(); r != nil {
 			panels, err = nil, fmt.Errorf("experiments: %s failed: %v", spec.ID, r)
@@ -243,77 +289,78 @@ func RunSweep(q SweepRequest, src func(seed int64) (data.Source, error), progres
 			cfg.Progress = p
 		}
 	}
-	return spec.Run(cfg), nil
+	panels, err = spec.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s failed: %w", spec.ID, err)
+	}
+	return panels, nil
 }
 
-// trialFn runs one trial of one point and returns the measured error.
-// The RNG is private to the trial; trials must not share other state
-// unless it is read-only.
-type trialFn func(r *randx.RNG, x float64) float64
-
 // sweep evaluates one series: for every x it averages Reps trials, each
-// on its own deterministic RNG stream, running trials in parallel.
-func sweep(cfg Config, name string, xs []float64, seedOff int64, f trialFn) Series {
+// on its own deterministic RNG stream, scheduling trials through the
+// active engine (engines.go). The first trial failure aborts the series.
+func sweep(cfg Config, name string, xs []float64, seedOff int64, f trialFn) (Series, error) {
+	results, err := sweepEngine(cfg, xs, seedOff, f)
+	if err != nil {
+		return Series{}, fmt.Errorf("series %s: %w", name, err)
+	}
 	s := Series{Name: name, X: xs, Mean: make([]float64, len(xs)), Std: make([]float64, len(xs))}
-	type job struct{ xi, rep int }
-	jobs := make(chan job)
-	results := make([][]float64, len(xs))
-	for i := range results {
-		results[i] = make([]float64, cfg.Reps)
-	}
-	var wg sync.WaitGroup
-	workers := parallel.Workers(cfg.Parallelism)
-	if workers > cfg.Reps*len(xs) {
-		workers = cfg.Reps * len(xs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				seed := cfg.Seed + seedOff*1_000_003 + int64(j.xi)*10_007 + int64(j.rep)
-				results[j.xi][j.rep] = f(randx.New(seed), xs[j.xi])
-			}
-		}()
-	}
-	for xi := range xs {
-		for rep := 0; rep < cfg.Reps; rep++ {
-			jobs <- job{xi, rep}
-		}
-	}
-	close(jobs)
-	wg.Wait()
 	for xi, vals := range results {
 		var o vecmath.OnlineMoments
 		o.AddAll(vals)
 		s.Mean[xi] = o.Mean
 		s.Std[xi] = o.Std()
 	}
-	return s
+	return s, nil
+}
+
+// addSeries runs one series sweep and appends it to the panel — unless
+// a previous series of the same Run body already failed, in which case
+// it does nothing and the latched first error is what Run returns.
+// Keeps the ~20 Run bodies flat instead of a pyramid of error returns.
+func addSeries(p *Panel, firstErr *error, cfg Config, name string, xs []float64, seedOff int64, f trialFn) {
+	if *firstErr != nil {
+		return
+	}
+	s, err := sweep(cfg, name, xs, seedOff, f)
+	if err != nil {
+		*firstErr = err
+		return
+	}
+	p.Series = append(p.Series, s)
 }
 
 // WriteTable renders a panel as an aligned text table, one row per x,
 // one mean±std column per series — the textual equivalent of the
-// paper's plot.
+// paper's plot. Series of different lengths are handled by padding the
+// short ones with blank cells; the x column comes from the first series
+// that still has the row.
 func WriteTable(w io.Writer, p Panel) error {
 	if _, err := fmt.Fprintf(w, "\n== %s(%s): %s ==\n", p.Figure, p.Name, p.Title); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "%-12s", p.XLabel)
+	rows := 0
 	for _, s := range p.Series {
 		fmt.Fprintf(w, "  %-24s", s.Name)
+		if len(s.X) > rows {
+			rows = len(s.X)
+		}
 	}
 	fmt.Fprintln(w)
-	if len(p.Series) == 0 {
-		return nil
-	}
-	for xi := range p.Series[0].X {
-		fmt.Fprintf(w, "%-12.4g", p.Series[0].X[xi])
+	for xi := 0; xi < rows; xi++ {
 		for _, s := range p.Series {
-			fmt.Fprintf(w, "  %-11.4g ± %-10.3g", s.Mean[xi], s.Std[xi])
+			if xi < len(s.X) {
+				fmt.Fprintf(w, "%-12.4g", s.X[xi])
+				break
+			}
+		}
+		for _, s := range p.Series {
+			if xi < len(s.X) {
+				fmt.Fprintf(w, "  %-11.4g ± %-10.3g", s.Mean[xi], s.Std[xi])
+			} else {
+				fmt.Fprintf(w, "  %-24s", "")
+			}
 		}
 		fmt.Fprintln(w)
 	}

@@ -47,7 +47,10 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestConfigDefaults(t *testing.T) {
-	c := Config{}.withDefaults()
+	c, err := Config{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Reps != 5 || c.Scale != 0.1 || c.Seed != 1 {
 		t.Fatalf("defaults = %+v", c)
 	}
@@ -57,19 +60,42 @@ func TestConfigDefaults(t *testing.T) {
 	if n := c.n(50); n != 100 {
 		t.Fatalf("floor: n(50) = %d", n)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for Scale > 1")
-		}
-	}()
-	Config{Scale: 2}.withDefaults()
+	if _, err := (Config{Scale: 2}).withDefaults(); err == nil {
+		t.Fatal("expected error for Scale > 1")
+	}
+	if _, err := (Config{Scale: -0.5}).withDefaults(); err == nil {
+		t.Fatal("expected error for Scale < 0")
+	}
+}
+
+// mustSweep runs sweep and fails the test on error.
+func mustSweep(t *testing.T, cfg Config, name string, xs []float64, seedOff int64, f trialFn) Series {
+	t.Helper()
+	s, err := sweep(cfg, name, xs, seedOff, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// mustRun runs a spec and fails the test on error.
+func mustRun(t *testing.T, spec Spec, cfg Config) []Panel {
+	t.Helper()
+	panels, err := spec.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", spec.ID, err)
+	}
+	return panels
 }
 
 func TestSweepDeterministicAndParallel(t *testing.T) {
-	cfg := Config{Reps: 4, Scale: 0.1, Seed: 9}.withDefaults()
-	f := func(r *randx.RNG, x float64) float64 { return x + r.Normal() }
-	a := sweep(cfg, "s", []float64{1, 2, 3}, 5, f)
-	b := sweep(cfg, "s", []float64{1, 2, 3}, 5, f)
+	cfg, err := Config{Reps: 4, Scale: 0.1, Seed: 9}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(_ *trialCtx, r *randx.RNG, x float64) (float64, error) { return x + r.Normal(), nil }
+	a := mustSweep(t, cfg, "s", []float64{1, 2, 3}, 5, f)
+	b := mustSweep(t, cfg, "s", []float64{1, 2, 3}, 5, f)
 	for i := range a.Mean {
 		if a.Mean[i] != b.Mean[i] || a.Std[i] != b.Std[i] {
 			t.Fatalf("sweep not deterministic at %d: %v vs %v", i, a.Mean[i], b.Mean[i])
@@ -82,7 +108,7 @@ func TestSweepDeterministicAndParallel(t *testing.T) {
 		}
 	}
 	// Different seed offset gives a different stream.
-	c := sweep(cfg, "s", []float64{1, 2, 3}, 6, f)
+	c := mustSweep(t, cfg, "s", []float64{1, 2, 3}, 6, f)
 	same := true
 	for i := range a.Mean {
 		if a.Mean[i] != c.Mean[i] {
@@ -127,6 +153,49 @@ func TestWriteTableAndCSV(t *testing.T) {
 	}
 }
 
+// TestWriteTableRagged: series of unequal length render blank cells
+// instead of panicking (lowerbound-style panels mix swept series with
+// hand-built reference curves of different grids).
+func TestWriteTableRagged(t *testing.T) {
+	p := Panel{Figure: "figR", Name: "a", Title: "ragged", XLabel: "n", YLabel: "err",
+		Series: []Series{
+			{Name: "short", X: []float64{1, 2}, Mean: []float64{0.5, 0.25}, Std: []float64{0.1, 0.05}},
+			{Name: "long", X: []float64{1, 2, 3, 4}, Mean: []float64{9, 8, 7, 6}, Std: []float64{1, 1, 1, 1}},
+		}}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"short", "long", "0.25", "7", "6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ragged table missing %q:\n%s", want, out)
+		}
+	}
+	// Four data rows: the long series drives the row count, x values
+	// come from whichever series still has that row.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var dataRows int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1") || strings.HasPrefix(l, "2") ||
+			strings.HasPrefix(l, "3") || strings.HasPrefix(l, "4") {
+			dataRows++
+		}
+	}
+	if dataRows != 4 {
+		t.Fatalf("ragged table has %d data rows, want 4:\n%s", dataRows, out)
+	}
+	// Reversed order must render the same rows.
+	p.Series[0], p.Series[1] = p.Series[1], p.Series[0]
+	buf.Reset()
+	if err := WriteTable(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.25") {
+		t.Errorf("reversed ragged table lost short-series cells:\n%s", buf.String())
+	}
+}
+
 // checkPanels validates the structural contract every figure must meet.
 func checkPanels(t *testing.T, id string, panels []Panel, wantPanels int) {
 	t.Helper()
@@ -155,22 +224,22 @@ func checkPanels(t *testing.T, id string, panels []Panel, wantPanels int) {
 
 func TestFig1Tiny(t *testing.T) {
 	spec, _ := Lookup("fig1")
-	checkPanels(t, "fig1", spec.Run(tiny), 3)
+	checkPanels(t, "fig1", mustRun(t, spec, tiny), 3)
 }
 
 func TestFig2Tiny(t *testing.T) {
 	spec, _ := Lookup("fig2")
-	checkPanels(t, "fig2", spec.Run(tiny), 3)
+	checkPanels(t, "fig2", mustRun(t, spec, tiny), 3)
 }
 
 func TestFig4Tiny(t *testing.T) {
 	spec, _ := Lookup("fig4")
-	checkPanels(t, "fig4", spec.Run(tiny), 2)
+	checkPanels(t, "fig4", mustRun(t, spec, tiny), 2)
 }
 
 func TestFig8Tiny(t *testing.T) {
 	spec, _ := Lookup("fig8")
-	panels := spec.Run(tiny)
+	panels := mustRun(t, spec, tiny)
 	checkPanels(t, "fig8", panels, 3)
 	// Estimation error must be non-degenerate even under mean-less noise
 	// (the metric bug this figure once had produced exactly 0 ± 0).
@@ -191,37 +260,37 @@ func TestFig8Tiny(t *testing.T) {
 
 func TestFig11Tiny(t *testing.T) {
 	spec, _ := Lookup("fig11")
-	checkPanels(t, "fig11", spec.Run(tiny), 3)
+	checkPanels(t, "fig11", mustRun(t, spec, tiny), 3)
 }
 
 func TestSplitVsFullTiny(t *testing.T) {
 	spec, _ := Lookup("abl-split-vs-full")
-	checkPanels(t, "abl-split-vs-full", spec.Run(tiny), 1)
+	checkPanels(t, "abl-split-vs-full", mustRun(t, spec, tiny), 1)
 }
 
 func TestFig5Tiny(t *testing.T) {
 	spec, _ := Lookup("fig5")
-	checkPanels(t, "fig5", spec.Run(tiny), 3)
+	checkPanels(t, "fig5", mustRun(t, spec, tiny), 3)
 }
 
 func TestFig7Tiny(t *testing.T) {
 	spec, _ := Lookup("fig7")
-	checkPanels(t, "fig7", spec.Run(tiny), 3)
+	checkPanels(t, "fig7", mustRun(t, spec, tiny), 3)
 }
 
 func TestFig10Tiny(t *testing.T) {
 	spec, _ := Lookup("fig10")
-	checkPanels(t, "fig10", spec.Run(tiny), 3)
+	checkPanels(t, "fig10", mustRun(t, spec, tiny), 3)
 }
 
 func TestFig3Tiny(t *testing.T) {
 	spec, _ := Lookup("fig3")
-	checkPanels(t, "fig3", spec.Run(tiny), 2)
+	checkPanels(t, "fig3", mustRun(t, spec, tiny), 2)
 }
 
 func TestLowerBoundTiny(t *testing.T) {
 	spec, _ := Lookup("lowerbound")
-	panels := spec.Run(tiny)
+	panels := mustRun(t, spec, tiny)
 	checkPanels(t, "lowerbound", panels, 1)
 	// Measured error must sit above the information-theoretic floor.
 	var measured, floor *Series
@@ -246,8 +315,8 @@ func TestLowerBoundTiny(t *testing.T) {
 func TestFigureDeterminism(t *testing.T) {
 	// Same config → identical panels, regardless of goroutine schedule.
 	spec, _ := Lookup("abl-shrink-k")
-	a := spec.Run(tiny)
-	b := spec.Run(tiny)
+	a := mustRun(t, spec, tiny)
+	b := mustRun(t, spec, tiny)
 	if len(a) != len(b) {
 		t.Fatal("panel count differs")
 	}
@@ -263,7 +332,7 @@ func TestFigureDeterminism(t *testing.T) {
 		}
 	}
 	// Different seed → different numbers.
-	c := spec.Run(Config{Reps: tiny.Reps, Scale: tiny.Scale, Seed: 99})
+	c := mustRun(t, spec, Config{Reps: tiny.Reps, Scale: tiny.Scale, Seed: 99})
 	if c[0].Series[0].Mean[0] == a[0].Series[0].Mean[0] {
 		t.Fatal("seed ignored")
 	}
@@ -272,7 +341,7 @@ func TestFigureDeterminism(t *testing.T) {
 func TestAblationsTiny(t *testing.T) {
 	for _, id := range []string{"abl-alg1-vs-alg2", "abl-shrink-k"} {
 		spec, _ := Lookup(id)
-		checkPanels(t, id, spec.Run(tiny), 1)
+		checkPanels(t, id, mustRun(t, spec, tiny), 1)
 	}
 }
 

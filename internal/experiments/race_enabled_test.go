@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// full-registry equivalence suites skip under it — they are minutes of
+// pure compute that prove byte-determinism, not race-freedom; the
+// detector gets its worker-scheduling coverage from the small parallel
+// sweep tests, and CI runs the equivalence suites in a dedicated
+// non-race step.
+const raceEnabled = true

@@ -125,7 +125,7 @@ func TestShapesOnRealRunTiny(t *testing.T) {
 	// Integration: the checker runs on a real figure without crashing
 	// and reports at least the monotonicity and dimension checks.
 	spec, _ := Lookup("fig1")
-	panels := spec.Run(Config{Reps: 2, Scale: 0.02, Seed: 3})
+	panels := mustRun(t, spec, Config{Reps: 2, Scale: 0.02, Seed: 3})
 	checks := CheckShapes(panels, 0.5)
 	if len(checks) < 8 {
 		t.Fatalf("only %d checks produced", len(checks))

@@ -10,31 +10,40 @@ import (
 
 func TestStreamingTiny(t *testing.T) {
 	spec, _ := Lookup("streaming")
-	panels := spec.Run(tiny)
+	panels := mustRun(t, spec, tiny)
 	checkPanels(t, "streaming", panels, 1)
 	if len(panels[0].Series) != 2 {
 		t.Fatalf("series = %d, want dpfw-stream and lasso-stream", len(panels[0].Series))
 	}
 }
 
-// TestStreamingConfigSource: a user-supplied factory (the -stream CSV
-// path) must replace the default generator, feed every trial, and have
-// its sources closed.
-func TestStreamingConfigSource(t *testing.T) {
-	opened, closed := 0, 0
-	cfg := tiny
-	cfg.Parallelism = 1 // sequential trials: the counters are unsynchronized
-	cfg.Source = func(seed int64) (data.Source, error) {
-		opened++
-		gen := data.LinearSource(seed, data.LinearOpt{
+// countingFactory returns a seed-invariant source factory (the seed is
+// ignored, like a CSV Reopen or a pool Acquire) over a fixed generated
+// dataset, counting opens and closes. The counters are unsynchronized:
+// use Parallelism 1.
+func countingFactory(opened, closed *int) func(seed int64) (data.Source, error) {
+	return func(int64) (data.Source, error) {
+		*opened++
+		gen := data.LinearSource(42, data.LinearOpt{
 			N: 300, D: 10,
 			Feature: randx.LogNormal{Mu: 0, Sigma: 0.8},
 			Noise:   randx.Normal{Mu: 0, Sigma: 0.3},
 		})
-		return &closeCounter{Source: gen, closed: &closed}, nil
+		return &closeCounter{Source: gen, closed: closed}, nil
 	}
+}
+
+// TestStreamingConfigSource: a user-supplied factory (the -stream CSV
+// path) must replace the default generator, feed every trial, and have
+// its sources closed. Without SharedSource, every (point, rep) opens
+// its own source, exactly as before batching.
+func TestStreamingConfigSource(t *testing.T) {
+	opened, closed := 0, 0
+	cfg := tiny
+	cfg.Parallelism = 1
+	cfg.Source = countingFactory(&opened, &closed)
 	spec, _ := Lookup("streaming")
-	panels := spec.Run(cfg)
+	panels := mustRun(t, spec, cfg)
 	checkPanels(t, "streaming", panels, 1)
 	// 2 series × |epsGrid| points × Reps trials.
 	want := 2 * len(epsGrid) * cfg.Reps
@@ -48,6 +57,47 @@ func TestStreamingConfigSource(t *testing.T) {
 		for i, m := range s.Mean {
 			if math.IsNaN(m) || math.IsInf(m, 0) {
 				t.Fatalf("%s[%d] non-finite", s.Name, i)
+			}
+		}
+	}
+}
+
+// TestStreamingSharedSource: with SharedSource set (a seed-invariant
+// factory, as the serving pool and -stream provide), the batched engine
+// opens the source once per (rep, series) — the whole ε-grid rides one
+// data pass — and the panel is unchanged.
+func TestStreamingSharedSource(t *testing.T) {
+	openedShared, closedShared := 0, 0
+	shared := tiny
+	shared.Parallelism = 1
+	shared.Source = countingFactory(&openedShared, &closedShared)
+	shared.SharedSource = true
+	spec, _ := Lookup("streaming")
+	sharedPanels := mustRun(t, spec, shared)
+	checkPanels(t, "streaming", sharedPanels, 1)
+	want := 2 * shared.Reps // 2 series × Reps passes, grid-width independent
+	if openedShared != want {
+		t.Fatalf("shared factory called %d times, want %d", openedShared, want)
+	}
+	if closedShared != openedShared {
+		t.Fatalf("closed %d of %d shared sources", closedShared, openedShared)
+	}
+
+	// One pass or many, the panel bytes are identical: sharing only
+	// changes how often the (seed-invariant) data is read.
+	unshared := shared
+	var o2, c2 int
+	unshared.Source = countingFactory(&o2, &c2)
+	unshared.SharedSource = false
+	unsharedPanels := mustRun(t, spec, unshared)
+	for i, p := range sharedPanels {
+		for j, s := range p.Series {
+			u := unsharedPanels[i].Series[j]
+			for k := range s.Mean {
+				if s.Mean[k] != u.Mean[k] || s.Std[k] != u.Std[k] {
+					t.Fatalf("shared vs unshared differ at %s[%d]: %v vs %v",
+						s.Name, k, s.Mean[k], u.Mean[k])
+				}
 			}
 		}
 	}

@@ -389,8 +389,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 // handleSweep answers POST /v1/sweep: the experiment registry behind
 // cmd/htdp -run, per request. The optional dataset field feeds the
-// source-streaming experiments from a pooled dataset, one fresh handle
-// per trial.
+// source-streaming experiments from a pooled dataset — Acquire ignores
+// the trial seed, so each batched trial reads the data once for its
+// whole grid — and is rejected (400) for experiments that would
+// silently ignore it. A trial failure mid-sweep (bad CSV, vanished
+// file) fails only that job: the response is 422 sweep_failed and the
+// server keeps serving (see OPERATIONS.md).
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var q experiments.SweepRequest
 	if err := decodeJSON(r, &q); err != nil {
@@ -514,6 +518,9 @@ func (s *Server) serveCachedOrRun(w http.ResponseWriter, key string, async bool,
 
 // serveStored answers a compute request from already-stored bytes:
 // directly for sync callers, as an immediately-done job for async ones.
+// Both carry the cache disposition — an async 202 for a stored result
+// names its tier ("hit" or "disk") exactly like the sync response, so
+// callers can tell a served-from-cache job from a scheduled one.
 func (s *Server) serveStored(w http.ResponseWriter, b []byte, tier string, async bool, kind string) {
 	if async {
 		j, err := s.sched.completed(kind, b)
@@ -521,6 +528,7 @@ func (s *Server) serveStored(w http.ResponseWriter, b []byte, tier string, async
 			writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
 			return
 		}
+		w.Header().Set("X-Htdp-Cache", tier)
 		writeJSON(w, http.StatusAccepted, j.status())
 		return
 	}

@@ -313,10 +313,14 @@ func TestRunAsyncJobFlow(t *testing.T) {
 		t.Fatal("sync-after-async bytes differ")
 	}
 
-	// An async re-request of cached work returns an immediately-done job.
-	code, _, body = postJSON(t, ts.URL+"/v1/run", req)
+	// An async re-request of cached work returns an immediately-done job
+	// that names its cache tier, exactly like the sync response.
+	code, hdr, body = postJSON(t, ts.URL+"/v1/run", req)
 	if code != 202 {
 		t.Fatalf("async rerun = %d", code)
+	}
+	if tier := hdr.Get("X-Htdp-Cache"); tier != "hit" {
+		t.Fatalf("async rerun cache = %q, want hit", tier)
 	}
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatal(err)
@@ -504,6 +508,85 @@ func TestSweepStreamingFromPool(t *testing.T) {
 	code, _, _ = postJSON(t, ts.URL+"/v1/sweep", req)
 	if code != 404 {
 		t.Fatalf("unknown sweep dataset = %d", code)
+	}
+}
+
+// TestSweepDatasetRejected: a dataset on an experiment that does not
+// stream from a source is a 400, not a silently-fragmented cache entry.
+func TestSweepDatasetRejected(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	req := experiments.SweepRequest{Experiment: "fig1", Reps: 1, Scale: 0.01, Dataset: "csv"}
+	code, _, body := postJSON(t, ts.URL+"/v1/sweep", req)
+	if code != 400 {
+		t.Fatalf("dataset on non-source experiment = %d %q, want 400", code, body)
+	}
+	if !strings.Contains(string(body), "ignores dataset") {
+		t.Fatalf("rejection body does not explain itself: %q", body)
+	}
+}
+
+// TestSweepFailureKeepsServing is the crash reproducer for the bug this
+// engine rewrite fixes: a trial failure mid-sweep (here the pooled CSV
+// vanishing between registration and the sweep) used to escape as a
+// panic on a sweep worker goroutine and kill the whole process. It must
+// instead fail that one job with 422 sweep_failed, leaving the server
+// answering everything else.
+func TestSweepFailureKeepsServing(t *testing.T) {
+	ts, _, path := newTestServer(t, Options{})
+	// The pool entry stays registered but every Acquire now fails: the
+	// master handle indexes the file, fresh trial handles reopen it.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	req := experiments.SweepRequest{Experiment: "streaming", Reps: 1, Scale: 0.01, Seed: 2, Dataset: "csv"}
+	code, _, body := postJSON(t, ts.URL+"/v1/sweep", req)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("failing sweep = %d %q, want 422", code, body)
+	}
+	if !strings.Contains(string(body), "sweep_failed") {
+		t.Fatalf("failing sweep body = %q, want sweep_failed", body)
+	}
+
+	// The process survived: health and unrelated compute still answer.
+	if code, hb := get(t, ts.URL+"/healthz"); code != 200 || string(hb) != "{\"status\":\"ok\"}\n" {
+		t.Fatalf("healthz after failed sweep = %d %q", code, hb)
+	}
+	ok := experiments.SweepRequest{Experiment: "abl-shrink-k", Reps: 1, Scale: 0.01, Seed: 3}
+	if code, _, b := postJSON(t, ts.URL+"/v1/sweep", ok); code != 200 {
+		t.Fatalf("sweep after failed sweep = %d %q", code, b)
+	}
+
+	// Failures are not cached: the same request fails again (another
+	// computation, same 422), rather than serving a stored error.
+	if code, _, _ := postJSON(t, ts.URL+"/v1/sweep", req); code != http.StatusUnprocessableEntity {
+		t.Fatalf("repeat failing sweep = %d, want 422", code)
+	}
+
+	// The async path reports the same failure through the job document.
+	async := req
+	async.Async = true
+	code, _, body = postJSON(t, ts.URL+"/v1/sweep", async)
+	if code != 202 {
+		t.Fatalf("async failing sweep = %d %q", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; st.Status != "failed"; i++ {
+		if st.Status == "done" || i > 10000 {
+			t.Fatalf("async failing sweep ended %q", st.Status)
+		}
+		code, jb := get(t, ts.URL+"/v1/jobs/"+st.ID)
+		if code != 200 {
+			t.Fatalf("jobs = %d %q", code, jb)
+		}
+		if err := json.Unmarshal(jb, &st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Error == "" {
+		t.Fatal("failed job carries no error")
 	}
 }
 
