@@ -27,16 +27,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"htdp/internal/benchio"
@@ -84,14 +87,16 @@ func run(args []string, stdout io.Writer) error {
 		labelCol = fs.Int("labelcol", -1, "label column of the -stream CSV (negative counts from the end)")
 		header   = fs.Bool("header", false, "the -stream CSV has a header row")
 
-		serveAddr = fs.String("serve", "", "serve the HTTP JSON API on this address (e.g. :8080); see API.md and OPERATIONS.md")
-		workers   = fs.Int("workers", 0, "-serve job workers (0 = all cores)")
-		queue     = fs.Int("queue", 0, "-serve job queue depth (0 = 64); beyond it requests get 503")
-		cachemem  = fs.Int64("cachemem", 0, "-serve in-memory result-cache bound in bytes (0 = 64 MiB)")
-		cachedir  = fs.String("cachedir", "", "-serve durable result-cache directory; results survive restarts bit-identically (empty = memory only)")
-		cachedisk = fs.Int64("cachedisk", 0, "-serve -cachedir size bound in bytes (0 = 1 GiB)")
-		jobttl    = fs.Duration("jobttl", 0, "-serve finished-job retention age (e.g. 30m; 0 = count-bounded only)")
-		progress  = fs.Bool("progress", false, "print per-panel sweep progress to stderr during -run")
+		serveAddr    = fs.String("serve", "", "serve the HTTP JSON API on this address (e.g. :8080); see API.md and OPERATIONS.md")
+		workers      = fs.Int("workers", 0, "-serve job workers (0 = all cores)")
+		queue        = fs.Int("queue", 0, "-serve job queue depth (0 = 64); beyond it requests get 503")
+		cachemem     = fs.Int64("cachemem", 0, "-serve in-memory result-cache bound in bytes (0 = 64 MiB)")
+		cachedir     = fs.String("cachedir", "", "-serve durable result-cache directory; results survive restarts bit-identically (empty = memory only)")
+		cachedisk    = fs.Int64("cachedisk", 0, "-serve -cachedir size bound in bytes (0 = 1 GiB)")
+		jobttl       = fs.Duration("jobttl", 0, "-serve finished-job retention age (e.g. 30m; 0 = count-bounded only)")
+		runtimeout   = fs.Duration("runtimeout", 0, "-serve per-job execution deadline (e.g. 5m; 0 = none); past it a job fails with 504 deadline_exceeded")
+		draintimeout = fs.Duration("draintimeout", 30*time.Second, "-serve graceful-shutdown drain window on SIGTERM/SIGINT; running jobs beyond it are cancelled")
+		progress     = fs.Bool("progress", false, "print per-panel sweep progress to stderr during -run")
 	)
 	var datasets []string
 	fs.Func("dataset", "register name=path.csv in the -serve pool (repeatable)", func(v string) error {
@@ -158,8 +163,8 @@ func run(args []string, stdout io.Writer) error {
 		return runServe(w, *serveAddr, pool, serve.Options{
 			Workers: *workers, QueueDepth: *queue,
 			MemCacheBytes: *cachemem, CacheDir: *cachedir, DiskCacheBytes: *cachedisk,
-			JobTTL: *jobttl,
-		})
+			JobTTL: *jobttl, RunTimeout: *runtimeout,
+		}, *draintimeout)
 	}
 
 	if *stream != "" && *runID == "" && !*list {
@@ -191,7 +196,11 @@ func run(args []string, stdout io.Writer) error {
 		specs = []experiments.Spec{s}
 	}
 
-	cfg := experiments.Config{Reps: *reps, Scale: *scale, Seed: *seed, Parallelism: *par}
+	// Ctrl-C mid-run cancels cooperatively: workers stop within one grid
+	// point, partial output is discarded, and the error names the signal.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	cfg := experiments.Config{Reps: *reps, Scale: *scale, Seed: *seed, Parallelism: *par, Ctx: ctx}
 	if *progress {
 		// Progress is observability only (results are bit-identical with
 		// or without it) and goes to stderr so -o/-csv output stays clean.
@@ -292,8 +301,11 @@ type streamOpts struct {
 // disjoint-chunk algorithms (fw, iht, sparseopt), StreamRows for the
 // per-iteration full-data passes (lasso and the risk evaluation) —
 // plus the 8-bytes-per-row offset index, never the n×d matrix.
+// Ctrl-C cancels within one chunk read.
 func runStream(w io.Writer, o streamOpts) error {
 	start := time.Now()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	src, err := data.OpenCSV(o.path, filepath.Base(o.path), o.labelCol, o.header)
 	if err != nil {
 		return err
@@ -304,7 +316,7 @@ func runStream(w io.Writer, o streamOpts) error {
 	fmt.Fprintf(w, "streaming %s: n=%d d=%d (%.1f MB if materialized; row-offset index %.1f MB)\n",
 		o.path, n, d, fullMB, float64(8*n)/(1<<20))
 
-	res, err := serve.ExecuteRun(src, serve.RunRequest{
+	res, err := serve.ExecuteRun(ctx, src, serve.RunRequest{
 		Dataset: filepath.Base(o.path), Algo: o.algo,
 		Eps: o.eps, Delta: o.delta, T: o.T, SStar: o.sstar,
 		Seed: o.seed, Parallelism: o.parallel,
@@ -365,22 +377,61 @@ func demoLinearSource() *data.GenSource {
 }
 
 // runServe starts the estimation service and blocks until the listener
-// fails (or forever). The pool, scheduler sizing, the two-tier result
-// cache, endpoints, and the determinism/caching contract are documented
-// in API.md; OPERATIONS.md is the operator runbook.
-func runServe(w io.Writer, addr string, pool *data.SourcePool, opt serve.Options) error {
+// fails or a shutdown signal arrives. The pool, scheduler sizing, the
+// two-tier result cache, endpoints, and the determinism/caching
+// contract are documented in API.md; OPERATIONS.md is the operator
+// runbook (see "Deploys and drains" for the shutdown sequence).
+//
+// On SIGTERM or SIGINT the server drains gracefully and exits 0: the
+// scheduler stops accepting compute work (503 shutting_down), queued
+// jobs finish as cancelled, running jobs get up to drainTimeout to
+// complete (past it they are cancelled cooperatively), the disk cache
+// tier is flushed, and only then does the listener close. A second
+// signal during the drain kills the process the default way.
+func runServe(w io.Writer, addr string, pool *data.SourcePool, opt serve.Options, drainTimeout time.Duration) error {
 	srv, err := serve.New(pool, opt)
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		srv.Close()
 		return err
 	}
 	for _, e := range pool.List() {
 		fmt.Fprintf(w, "pooled dataset %-16s kind=%-4s n=%-8d d=%d\n", e.Name, e.Kind, e.N, e.D)
 	}
 	fmt.Fprintf(w, "htdp serving on http://%s (see API.md; GET /healthz, /metrics)\n", ln.Addr())
-	return http.Serve(ln, srv)
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// WriteTimeout stays zero on purpose: sync sweeps and the SSE
+		// progress streams (/v1/jobs/{id}/events) are legitimately
+		// long-lived responses; per-job deadlines come from -runtimeout.
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+		stopSignals() // restore default signal handling: a second signal kills
+	}
+	fmt.Fprintf(w, "htdp: shutdown signal; draining in-flight jobs (up to %s)\n", drainTimeout)
+	// Drain the scheduler BEFORE closing the listener: handlers blocked
+	// on sync jobs unblock as their jobs finish or cancel, while new
+	// compute requests are answered 503 shutting_down rather than hung
+	// up on. Then give the HTTP layer a short window to finish writing.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	drained, cancelled := srv.Shutdown(drainCtx)
+	cancelDrain()
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	hs.Shutdown(httpCtx)
+	cancelHTTP()
+	fmt.Fprintf(w, "htdp: drained (%d completed, %d cancelled); bye\n", drained, cancelled)
+	return nil
 }

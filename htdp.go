@@ -51,6 +51,7 @@
 package htdp
 
 import (
+	"context"
 	"io"
 
 	"htdp/internal/core"
@@ -503,14 +504,19 @@ func NewSourcePool() *SourcePool { return data.NewSourcePool() }
 
 // NewServer builds the estimation service over an already-populated
 // pool; the caller keeps pool ownership and must Close the server to
-// drain its scheduler. It errors when the durable cache tier
-// (ServeOptions.CacheDir) cannot be created or scanned.
+// drain its scheduler (or Shutdown for a deadline-bounded drain — see
+// OPERATIONS.md, "Deploys and drains"). It errors when the durable
+// cache tier (ServeOptions.CacheDir) cannot be created or scanned.
 func NewServer(pool *SourcePool, opt ServeOptions) (*Server, error) { return serve.New(pool, opt) }
 
 // ExecuteRun runs one algorithm over a source per the request — the
 // dispatch shared by POST /v1/run and cmd/htdp -stream, so served and
-// batch results are bit-identical by construction.
-func ExecuteRun(src Source, q RunRequest) (*RunResult, error) { return serve.ExecuteRun(src, q) }
+// batch results are bit-identical by construction. ctx cancels the run
+// cooperatively at chunk granularity; an uncancelled run is
+// bit-identical under any context.
+func ExecuteRun(ctx context.Context, src Source, q RunRequest) (*RunResult, error) {
+	return serve.ExecuteRun(ctx, src, q)
+}
 
 // RunSweep runs one experiment registry sweep per the request,
 // optionally feeding the source-streaming experiments from the given
@@ -518,13 +524,16 @@ func ExecuteRun(src Source, q RunRequest) (*RunResult, error) { return serve.Exe
 // seed-invariant — same data regardless of the seed argument, like a
 // CSV reopen or a pool acquire — because batched trials read it once
 // and serve every grid point from that one pass; results are
-// bit-identical to opening per point. An optional progress callback
-// (at most one) receives one SweepProgress event per completed panel;
-// it observes the sweep without changing its bytes. Trial failures
-// come back as errors, never panics, and a failed sweep returns no
-// panels.
-func RunSweep(q SweepRequest, src func(seed int64) (Source, error), progress ...func(SweepProgress)) ([]Panel, error) {
-	return experiments.RunSweep(q, src, progress...)
+// bit-identical to opening per point. ctx cancels the sweep
+// cooperatively (workers stop within one grid point; a cancelled sweep
+// returns the context's cause and no panels) and never affects the
+// bytes of a sweep that runs to completion. An optional progress
+// callback (at most one) receives one SweepProgress event per completed
+// panel; it observes the sweep without changing its bytes. Trial
+// failures come back as errors, never panics, and a failed sweep
+// returns no panels.
+func RunSweep(ctx context.Context, q SweepRequest, src func(seed int64) (Source, error), progress ...func(SweepProgress)) ([]Panel, error) {
+	return experiments.RunSweep(ctx, q, src, progress...)
 }
 
 // Rényi-DP accounting (internal/dp).

@@ -2,6 +2,7 @@ package htdp_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -239,7 +240,7 @@ func TestFacadeServing(t *testing.T) {
 
 	direct := req
 	direct.Parallelism = 1
-	res, err := htdp.ExecuteRun(gen.Clone(), direct)
+	res, err := htdp.ExecuteRun(context.Background(), gen.Clone(), direct)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,14 +252,14 @@ func TestFacadeServing(t *testing.T) {
 		t.Fatal("served bytes differ from direct ExecuteRun")
 	}
 
-	panels, err := htdp.RunSweep(htdp.SweepRequest{Experiment: "abl-shrink-k", Reps: 1, Scale: 0.01}, nil)
+	panels, err := htdp.RunSweep(context.Background(), htdp.SweepRequest{Experiment: "abl-shrink-k", Reps: 1, Scale: 0.01}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(panels) != 1 || len(panels[0].Series) == 0 {
 		t.Fatalf("RunSweep panels = %+v", panels)
 	}
-	if _, err := htdp.RunSweep(htdp.SweepRequest{Experiment: "fig99"}, nil); err == nil {
+	if _, err := htdp.RunSweep(context.Background(), htdp.SweepRequest{Experiment: "fig99"}, nil); err == nil {
 		t.Fatal("unknown experiment: expected error")
 	}
 }

@@ -1,0 +1,48 @@
+package data
+
+import (
+	"context"
+	"fmt"
+)
+
+// WithContext wraps a source so every Chunk call first checks ctx: once
+// the context is cancelled the next chunk read fails with the
+// cancellation cause instead of touching the data. Because every
+// algorithm in the repository consumes its data chunk by chunk, this
+// single seam gives all of them cooperative cancellation at chunk
+// granularity — one Chunk call is the longest an in-flight computation
+// runs past its context — without a ctx parameter on any algorithm.
+//
+// The wrapper is bit-transparent: while ctx is live it forwards N, D,
+// Chunk, and Close unchanged (same *Dataset pointers, same errors), so
+// wrapped and unwrapped runs are bit-identical by construction.
+// Cancellation only ever discards work, never reorders it. A nil ctx
+// returns src unwrapped.
+func WithContext(ctx context.Context, src Source) Source {
+	if ctx == nil {
+		return src
+	}
+	return &ctxSource{ctx: ctx, src: src}
+}
+
+// ctxSource is the WithContext wrapper: a pass-through Source whose
+// Chunk fails once its context is cancelled.
+type ctxSource struct {
+	ctx context.Context
+	src Source
+}
+
+func (c *ctxSource) N() int { return c.src.N() }
+func (c *ctxSource) D() int { return c.src.D() }
+
+func (c *ctxSource) Chunk(t, T int) (*Dataset, error) {
+	// context.Cause surfaces why the run stopped (a DELETE'd job, an
+	// exceeded deadline, a draining server) instead of the generic
+	// context.Canceled; callers classify with errors.Is either way.
+	if err := context.Cause(c.ctx); err != nil {
+		return nil, fmt.Errorf("data: chunk %d/%d: run cancelled: %w", t, T, err)
+	}
+	return c.src.Chunk(t, T)
+}
+
+func (c *ctxSource) Close() error { return c.src.Close() }

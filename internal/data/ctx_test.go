@@ -1,0 +1,71 @@
+package data
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"htdp/internal/randx"
+)
+
+// TestWithContextPassThrough: while the context is live the wrapper is
+// bit-transparent — same chunk pointers and contents as the unwrapped
+// source — and a nil context skips the wrapper entirely.
+func TestWithContextPassThrough(t *testing.T) {
+	gen := LinearSource(3, LinearOpt{
+		N: 120, D: 4,
+		Feature: randx.Normal{Mu: 0, Sigma: 1},
+		Noise:   randx.Normal{Mu: 0, Sigma: 0.1},
+	})
+	ref := gen.Materialize()
+	src := WithContext(context.Background(), gen.Clone())
+	defer src.Close()
+	if src.N() != 120 || src.D() != 4 {
+		t.Fatalf("wrapped dims = %d×%d", src.N(), src.D())
+	}
+	ck, err := src.Chunk(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ref.X.Rows; i++ {
+		for j := 0; j < ref.X.Cols; j++ {
+			if ck.X.At(i, j) != ref.X.At(i, j) {
+				t.Fatalf("wrapped chunk differs at [%d][%d]", i, j)
+			}
+		}
+	}
+	if WithContext(nil, gen) != Source(gen) {
+		t.Fatal("nil ctx should return the source unwrapped")
+	}
+	// WStar travels through the wrapper on the chunk itself, so
+	// excess-risk references survive wrapping.
+	if WStarOf(WithContext(context.Background(), gen.Clone())) == nil {
+		t.Fatal("planted parameter lost through the wrapper")
+	}
+}
+
+// TestWithContextCancellation: once the context is cancelled the next
+// Chunk fails with the cancellation cause; reads before the cancel are
+// unaffected.
+func TestWithContextCancellation(t *testing.T) {
+	gen := LinearSource(3, LinearOpt{
+		N: 120, D: 4,
+		Feature: randx.Normal{Mu: 0, Sigma: 1},
+		Noise:   randx.Normal{Mu: 0, Sigma: 0.1},
+	})
+	cause := errors.New("job cancelled by test")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	src := WithContext(ctx, gen)
+	defer src.Close()
+	if _, err := src.Chunk(0, 2); err != nil {
+		t.Fatalf("pre-cancel chunk: %v", err)
+	}
+	cancel(cause)
+	_, err := src.Chunk(1, 2)
+	if err == nil {
+		t.Fatal("post-cancel chunk succeeded")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("post-cancel chunk error = %v, want the cancellation cause", err)
+	}
+}

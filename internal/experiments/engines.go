@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,13 @@ import (
 // after the wait; a failure flips an atomic flag so in-flight reps stop
 // early, which can change which error is reported but never the result
 // bytes — a failed sweep returns no results at all.
+//
+// The same early-stop flag doubles as the cancellation seam: a
+// cancelled Config.Ctx flips it at the next per-point check, every
+// worker stops within one grid point, and the engine reports the
+// context's cause — checked before the per-rep error slots, so
+// cancellation wins deterministically over whatever trial errors raced
+// with it. A cancelled sweep, like a failed one, returns no results.
 
 // trialFn runs one trial of one grid point and returns the measured
 // error. The RNG is private to the trial; the trialCtx carries the
@@ -116,6 +124,7 @@ func firstError(errs []error) error {
 // default per-seed generators it is plain rep-level parallelism with
 // unchanged per-point semantics.
 func sweepBatched(cfg Config, xs []float64, seedOff int64, f trialFn) ([][]float64, error) {
+	ctx := cfg.context()
 	results := newResults(len(xs), cfg.Reps)
 	errs := make([]error, cfg.Reps)
 	var failed atomic.Bool
@@ -130,6 +139,10 @@ func sweepBatched(cfg Config, xs []float64, seedOff int64, f trialFn) ([][]float
 				for xi := range xs {
 					if failed.Load() {
 						break // a failed sweep returns no results; stop early
+					}
+					if ctx.Err() != nil {
+						failed.Store(true) // cancelled: stop every worker at its next check
+						break
 					}
 					y, err := safeTrial(f, tc, randx.New(pointSeed(cfg.Seed, seedOff, xi, rep)), xs[xi])
 					if err != nil {
@@ -147,6 +160,9 @@ func sweepBatched(cfg Config, xs []float64, seedOff int64, f trialFn) ([][]float
 	}
 	close(reps)
 	wg.Wait()
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx) // cancellation wins over racing trial errors
+	}
 	if err := firstError(errs); err != nil {
 		return nil, err
 	}
@@ -160,6 +176,7 @@ func sweepBatched(cfg Config, xs []float64, seedOff int64, f trialFn) ([][]float
 // against sweepBatched.
 func sweepPointwise(cfg Config, xs []float64, seedOff int64, f trialFn) ([][]float64, error) {
 	type job struct{ xi, rep int }
+	ctx := cfg.context()
 	results := newResults(len(xs), cfg.Reps)
 	errs := make([]error, len(xs)*cfg.Reps)
 	var failed atomic.Bool
@@ -171,6 +188,10 @@ func sweepPointwise(cfg Config, xs []float64, seedOff int64, f trialFn) ([][]flo
 			defer wg.Done()
 			for j := range jobs {
 				if failed.Load() {
+					continue
+				}
+				if ctx.Err() != nil {
+					failed.Store(true)
 					continue
 				}
 				tc := newTrialCtx(cfg)
@@ -191,6 +212,9 @@ func sweepPointwise(cfg Config, xs []float64, seedOff int64, f trialFn) ([][]flo
 	}
 	close(jobs)
 	wg.Wait()
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
 	if err := firstError(errs); err != nil {
 		return nil, err
 	}
@@ -223,9 +247,19 @@ func newTrialCtx(cfg Config) *trialCtx { return &trialCtx{cfg: cfg} }
 // with the given seed, exactly as the pointwise engine always did. The
 // caller owns the returned source and must Close it (views close as
 // no-ops; the materialized block belongs to the trialCtx).
+//
+// Every returned source is wrapped with the sweep's context (a no-op
+// wrapper when Config.Ctx is nil), so a long trial observes
+// cancellation at every chunk read — within a point, not only between
+// points.
 func (tc *trialCtx) openSource(open func(seed int64) (data.Source, error), seed int64) (data.Source, error) {
+	ctx := tc.cfg.Ctx
 	if !tc.cfg.SharedSource || tc.cfg.Source == nil {
-		return open(seed)
+		src, err := open(seed)
+		if err != nil {
+			return nil, err
+		}
+		return data.WithContext(ctx, src), nil
 	}
 	if tc.shared == nil {
 		src, err := open(seed)
@@ -233,9 +267,10 @@ func (tc *trialCtx) openSource(open func(seed int64) (data.Source, error), seed 
 			return nil, err
 		}
 		if int64(src.N())*int64(src.D()+1)*8 > maxSharedBytes {
-			return src, nil // too large to hold; stream this point directly
+			// Too large to hold; stream this point directly.
+			return data.WithContext(ctx, src), nil
 		}
-		ds, err := data.Materialize(src)
+		ds, err := data.Materialize(data.WithContext(ctx, src))
 		if err != nil {
 			src.Close()
 			return nil, err
@@ -248,5 +283,5 @@ func (tc *trialCtx) openSource(open func(seed int64) (data.Source, error), seed 
 			return nil, err
 		}
 	}
-	return data.NewMemSource(tc.shared), nil
+	return data.WithContext(ctx, data.NewMemSource(tc.shared)), nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -112,7 +113,7 @@ func TestSweepTrialPanic(t *testing.T) {
 func TestRunSweepTrialError(t *testing.T) {
 	q := SweepRequest{Experiment: "streaming", Reps: 1, Scale: 0.01, Seed: 3}
 	open := func(int64) (data.Source, error) { return nil, errors.New("dataset vanished") }
-	panels, err := RunSweep(q, open)
+	panels, err := RunSweep(context.Background(), q, open)
 	if err == nil {
 		t.Fatal("RunSweep with a failing source returned no error")
 	}

@@ -20,6 +20,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -69,6 +70,24 @@ type Config struct {
 	// threads them into the job's progress field and SSE stream
 	// (API.md, "GET /v1/jobs/{id}/events").
 	Progress func(Progress)
+	// Ctx, when non-nil, carries cooperative cancellation into the
+	// sweep: the engines check it between trials (so a running sweep
+	// stops within one grid point per worker) and every source a trial
+	// opens checks it per chunk read. A cancelled sweep returns the
+	// context's cause as its error and no panels — cancellation only
+	// ever discards work, it never reorders it, so uncancelled results
+	// are bit-identical with or without a context. Nil means never
+	// cancelled (context.Background()).
+	Ctx context.Context
+}
+
+// context returns the sweep's cancellation context, Background when the
+// config carries none.
+func (c Config) context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // Progress describes one completed panel of a running sweep — the
@@ -202,11 +221,17 @@ type SweepRequest struct {
 	// Async requests a job handle instead of a blocking response; like
 	// Parallelism it never changes result bytes.
 	Async bool `json:"async,omitempty"`
+	// TimeoutMS, when positive, bounds the sweep's execution time in
+	// milliseconds; past it the run is cancelled and the serving layer
+	// answers 504. Like Parallelism it is a scheduling knob that can
+	// never change result bytes — a sweep either completes identically
+	// or returns nothing — so Canonical zeroes it out of cache keys.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Canonical validates the request and resolves every defaulted
 // result-relevant field to its effective value, zeroing the
-// scheduling-only fields (Parallelism, Async). Equal requests therefore
+// scheduling-only fields (Parallelism, Async, TimeoutMS). Equal requests therefore
 // have equal canonical forms — the property response caches key on. It
 // mirrors Config.withDefaults but returns errors instead of panicking,
 // so a malformed request is a 400, not a crashed worker.
@@ -233,7 +258,10 @@ func (q SweepRequest) Canonical() (SweepRequest, error) {
 	if q.Seed == 0 {
 		q.Seed = 1
 	}
-	q.Parallelism, q.Async = 0, false
+	if q.TimeoutMS < 0 {
+		return q, fmt.Errorf("experiments: timeout_ms %d is negative", q.TimeoutMS)
+	}
+	q.Parallelism, q.Async, q.TimeoutMS = 0, false, 0
 	return q, nil
 }
 
@@ -253,6 +281,13 @@ func (q SweepRequest) Config(src func(seed int64) (data.Source, error)) Config {
 // request's result-relevant defaults are resolved via Canonical while
 // its Parallelism is honored as given — it never changes result bytes.
 //
+// ctx carries cooperative cancellation: when it is cancelled the sweep
+// stops within one grid point per worker (plus at most one chunk read
+// inside a trial), discards all partial results, and returns the
+// context's cause as its error. Cancellation never perturbs uncancelled
+// output — a sweep that runs to completion is bit-identical under any
+// context, including context.Background().
+//
 // src, when non-nil, feeds the source-streaming experiments and must be
 // seed-invariant: every call returns a source over the same rows
 // (pooled datasets and reopened CSVs are; per-seed generators are not —
@@ -264,7 +299,7 @@ func (q SweepRequest) Config(src func(seed int64) (data.Source, error)) Config {
 // An optional progress callback (at most one) receives one Progress
 // event per completed panel; it observes the sweep without affecting
 // its bytes.
-func RunSweep(q SweepRequest, src func(seed int64) (data.Source, error), progress ...func(Progress)) (panels []Panel, err error) {
+func RunSweep(ctx context.Context, q SweepRequest, src func(seed int64) (data.Source, error), progress ...func(Progress)) (panels []Panel, err error) {
 	par := q.Parallelism
 	q, err = q.Canonical()
 	if err != nil {
@@ -284,6 +319,7 @@ func RunSweep(q SweepRequest, src func(seed int64) (data.Source, error), progres
 		}
 	}()
 	cfg := q.Config(src)
+	cfg.Ctx = ctx
 	for _, p := range progress {
 		if p != nil {
 			cfg.Progress = p
@@ -298,8 +334,14 @@ func RunSweep(q SweepRequest, src func(seed int64) (data.Source, error), progres
 
 // sweep evaluates one series: for every x it averages Reps trials, each
 // on its own deterministic RNG stream, scheduling trials through the
-// active engine (engines.go). The first trial failure aborts the series.
+// active engine (engines.go). The first trial failure aborts the
+// series; so does a cancelled Config.Ctx — the up-front check here is
+// what stops a multi-panel Run body between panels without touching any
+// of the ~20 Run bodies themselves.
 func sweep(cfg Config, name string, xs []float64, seedOff int64, f trialFn) (Series, error) {
+	if cfg.context().Err() != nil {
+		return Series{}, fmt.Errorf("series %s: %w", name, context.Cause(cfg.context()))
+	}
 	results, err := sweepEngine(cfg, xs, seedOff, f)
 	if err != nil {
 		return Series{}, fmt.Errorf("series %s: %w", name, err)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"reflect"
 	"strings"
@@ -351,7 +352,7 @@ func TestAblationsTiny(t *testing.T) {
 func TestRunSweepProgress(t *testing.T) {
 	req := SweepRequest{Experiment: "fig1", Reps: 1, Scale: 0.01, Seed: 3}
 	var events []Progress
-	panels, err := RunSweep(req, nil, func(p Progress) { events = append(events, p) })
+	panels, err := RunSweep(context.Background(), req, nil, func(p Progress) { events = append(events, p) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +367,7 @@ func TestRunSweepProgress(t *testing.T) {
 	}
 
 	// Progress is pure observability: the panels match a silent run.
-	silent, err := RunSweep(req, nil)
+	silent, err := RunSweep(context.Background(), req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +377,7 @@ func TestRunSweepProgress(t *testing.T) {
 
 	// A single-panel ablation reports exactly (1, 1).
 	events = nil
-	if _, err := RunSweep(SweepRequest{Experiment: "abl-shrink-k", Reps: 1, Scale: 0.01}, nil,
+	if _, err := RunSweep(context.Background(), SweepRequest{Experiment: "abl-shrink-k", Reps: 1, Scale: 0.01}, nil,
 		func(p Progress) { events = append(events, p) }); err != nil {
 		t.Fatal(err)
 	}

@@ -46,7 +46,7 @@ func (m *metrics) observe(route string, code int, dur time.Duration) {
 // write renders the exposition text. Lines are emitted in sorted label
 // order so scrapes are stable. OPERATIONS.md documents every series
 // and its alerting hints.
-func (m *metrics) write(w io.Writer, st storeStats, coalesced int64, jobs map[string]int, expired int64, datasets int) {
+func (m *metrics) write(w io.Writer, st storeStats, coalesced int64, jobs map[string]int, expired int64, datasets int, shutdownDrained, shutdownCancelled int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -107,6 +107,10 @@ func (m *metrics) write(w io.Writer, st storeStats, coalesced int64, jobs map[st
 	}
 	fmt.Fprintln(w, "# TYPE htdp_jobs_expired_total counter")
 	fmt.Fprintf(w, "htdp_jobs_expired_total %d\n", expired)
+	fmt.Fprintln(w, "# TYPE htdp_shutdown_drained_total counter")
+	fmt.Fprintf(w, "htdp_shutdown_drained_total %d\n", shutdownDrained)
+	fmt.Fprintln(w, "# TYPE htdp_shutdown_cancelled_total counter")
+	fmt.Fprintf(w, "htdp_shutdown_cancelled_total %d\n", shutdownCancelled)
 
 	fmt.Fprintln(w, "# TYPE htdp_pool_datasets gauge")
 	fmt.Fprintf(w, "htdp_pool_datasets %d\n", datasets)

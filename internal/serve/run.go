@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -44,13 +45,19 @@ type RunRequest struct {
 	// Async requests a job handle (202 + job id) instead of a blocking
 	// response; also excluded from the cache key.
 	Async bool `json:"async,omitempty"`
+	// TimeoutMS, when positive, bounds the run's execution time in
+	// milliseconds; past it the run is cancelled and the serving layer
+	// answers 504. A scheduling knob like Parallelism — it can only
+	// discard work, never change bytes — so it too is excluded from the
+	// cache key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Canonical validates the request and resolves every defaulted
 // result-relevant field to its effective value, zeroing the
-// scheduling-only fields (Parallelism, Async). Two requests for the
-// same bytes therefore have equal canonical forms — the property the
-// response cache keys on.
+// scheduling-only fields (Parallelism, Async, TimeoutMS). Two requests
+// for the same bytes therefore have equal canonical forms — the
+// property the response cache keys on.
 func (q RunRequest) Canonical() (RunRequest, error) {
 	if q.Dataset == "" {
 		return q, fmt.Errorf("dataset is required")
@@ -81,7 +88,10 @@ func (q RunRequest) Canonical() (RunRequest, error) {
 	if q.Seed == 0 {
 		q.Seed = 1
 	}
-	q.Parallelism, q.Async = 0, false
+	if q.TimeoutMS < 0 {
+		return q, fmt.Errorf("timeout_ms %d is negative", q.TimeoutMS)
+	}
+	q.Parallelism, q.Async, q.TimeoutMS = 0, false, 0
 	return q, nil
 }
 
@@ -111,12 +121,19 @@ type RunResult struct {
 // request is canonicalized first (invalid requests error out); the
 // caller's Parallelism survives canonicalization because it never
 // changes result bytes, only wall-clock.
-func ExecuteRun(src data.Source, q RunRequest) (*RunResult, error) {
+//
+// ctx carries cooperative cancellation: the source is wrapped so every
+// chunk read checks it, which is the granularity at which all four
+// algorithms (and the risk evaluators) observe a cancel. A cancelled
+// run returns the context's cause; an uncancelled run is bit-identical
+// under any context, including context.Background().
+func ExecuteRun(ctx context.Context, src data.Source, q RunRequest) (*RunResult, error) {
 	par := q.Parallelism
 	q, err := q.Canonical()
 	if err != nil {
 		return nil, err
 	}
+	src = data.WithContext(ctx, src)
 	n, d := src.N(), src.D()
 	delta := q.Delta
 	if delta == 0 {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -23,11 +24,20 @@ const (
 // the scheduler never buffers unboundedly.
 var errQueueFull = errors.New("serve: job queue full")
 
-// errNotCancellable is returned by cancel for a job that already left
-// the queue: only queued jobs can be cancelled (a running computation
-// has no safe interruption point, and a finished one has nothing left
-// to cancel).
-var errNotCancellable = errors.New("serve: only queued jobs can be cancelled")
+// errNotCancellable is returned by cancel for a job that already
+// finished: there is nothing left to cancel. Queued jobs cancel
+// immediately; running jobs cancel cooperatively (their context is
+// cancelled and the worker lands them in the cancelled state when it
+// observes it).
+var errNotCancellable = errors.New("serve: job already finished")
+
+// errCancelledByDelete is the context cause of DELETE /v1/jobs/{id} on
+// a running job.
+var errCancelledByDelete = errors.New("job cancelled by DELETE /v1/jobs/{id}")
+
+// errShuttingDown is the context cause when a graceful shutdown
+// force-cancels jobs that did not drain within the deadline.
+var errShuttingDown = errors.New("job cancelled by server shutdown")
 
 // JobStatus is the JSON shape of one job, served by GET /v1/jobs/{id}.
 // It is deliberately time-free so job documents are deterministic: a
@@ -44,18 +54,24 @@ type JobStatus struct {
 }
 
 // job is one unit of scheduled work. Result bytes are written exactly
-// once, before done is closed; readers wait on done.
+// once, before done is closed; readers wait on done. The job's fn
+// receives a context derived from the scheduler's base context (plus
+// the job's own deadline, if any); DELETE and shutdown cancel it, and
+// the worker classifies the outcome from its cause when fn returns.
 type job struct {
-	id   string
-	kind string
-	key  string // cache key, "" for jobs outside the singleflight group
-	fn   func(*job) ([]byte, error)
-	done chan struct{}
+	id      string
+	kind    string
+	key     string // cache key, "" for jobs outside the singleflight group
+	timeout time.Duration
+	fn      func(context.Context, *job) ([]byte, error)
+	done    chan struct{}
 
 	mu         sync.Mutex
 	state      string
+	cancel     context.CancelCauseFunc // non-nil exactly while running
 	result     []byte
 	errMsg     string
+	deadline   bool // failed by exceeding its deadline → 504, not 422
 	finishedAt time.Time
 	progress   *experiments.Progress
 	subs       []chan experiments.Progress
@@ -83,12 +99,36 @@ func (j *job) resultBytes() []byte {
 	return j.result
 }
 
-func (j *job) finish(result []byte, err error, now time.Time) {
+// deadlineExceeded reports whether a failed job failed by running past
+// its deadline — the HTTP layer maps exactly those to 504.
+func (j *job) deadlineExceeded() bool {
 	j.mu.Lock()
-	if err != nil {
-		j.state, j.errMsg = jobFailed, err.Error()
-	} else {
+	defer j.mu.Unlock()
+	return j.deadline
+}
+
+// finish records fn's outcome and releases waiters. cause is the job
+// context's cancellation cause (nil if the context was never
+// cancelled): a deadline cause marks the failure as 504 material, any
+// other cause lands the job in cancelled — by construction the only
+// canceller is a DELETE or a draining shutdown, and either way the
+// partial work is discarded and must never read as a failure of the
+// request itself.
+func (j *job) finish(result []byte, err, cause error, now time.Time) {
+	j.mu.Lock()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		// A job that raced its cancellation to completion still
+		// completed: the bytes are valid (pure function of the request)
+		// and serving them is strictly more useful than discarding them.
 		j.state, j.result = jobDone, result
+	case errors.Is(cause, context.DeadlineExceeded):
+		j.state, j.errMsg, j.deadline = jobFailed, err.Error(), true
+	case cause != nil:
+		j.state, j.errMsg = jobCancelled, cause.Error()
+	default:
+		j.state, j.errMsg = jobFailed, err.Error()
 	}
 	j.finishedAt = now
 	j.mu.Unlock()
@@ -112,13 +152,19 @@ func (j *job) setProgress(p experiments.Progress) {
 	j.mu.Unlock()
 }
 
-// subscribe registers an SSE subscriber channel, pre-loaded with the
-// current progress (if any) so late subscribers see state immediately.
-func (j *job) subscribe() chan experiments.Progress {
-	ch := make(chan experiments.Progress, 32)
+// subscribe registers an SSE subscriber channel of the given capacity,
+// pre-loaded with the current progress (if any) so late subscribers see
+// state immediately. The pre-load is the same lossy non-blocking send
+// as setProgress: a zero-capacity (or already-full) subscriber misses
+// the snapshot instead of deadlocking the caller against the job lock.
+func (j *job) subscribe(capacity int) chan experiments.Progress {
+	ch := make(chan experiments.Progress, capacity)
 	j.mu.Lock()
 	if j.progress != nil {
-		ch <- *j.progress
+		select {
+		case ch <- *j.progress:
+		default:
+		}
 	}
 	j.subs = append(j.subs, ch)
 	j.mu.Unlock()
@@ -145,11 +191,23 @@ func (j *job) unsubscribe(ch chan experiments.Progress) {
 // share one cache entry. Finished jobs are retained for /v1/jobs and
 // /v1/results lookups under two bounds: a FIFO count bound and an
 // optional age TTL.
+//
+// Every job runs under a context chained off baseCtx; close cancels
+// baseCtx once the drain deadline passes, which is how shutdown
+// pre-empts stragglers without knowing anything about what they
+// compute.
 type scheduler struct {
 	queue chan *job
 	wg    sync.WaitGroup
 	ttl   time.Duration    // 0 = no age-based eviction
 	now   func() time.Time // injected for TTL tests
+
+	baseCtx    context.Context
+	cancelBase context.CancelCauseFunc
+	// timeoutCtx wraps a job context with its deadline; swapped by the
+	// deadline tests for a hand-triggered fake so 504 paths are tested
+	// without wall-clock sleeps.
+	timeoutCtx func(parent context.Context, d time.Duration) (context.Context, context.CancelFunc)
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -157,6 +215,11 @@ type scheduler struct {
 	next    int
 	expired int64 // TTL evictions, for /metrics
 	closed  bool
+	// Shutdown accounting, for the htdp_shutdown_* metric pair: jobs
+	// that finished naturally during the drain window vs jobs the
+	// shutdown cancelled (queued jobs skipped, running jobs pre-empted).
+	shutdownDrained   int64
+	shutdownCancelled int64
 	// earliestFinish is the oldest finishedAt among retained finished
 	// jobs (zero = none known). It lets evictExpiredLocked return in
 	// O(1) when nothing can have expired yet, instead of scanning the
@@ -171,11 +234,17 @@ type scheduler struct {
 const maxRetainedJobs = 1024
 
 func newScheduler(workers, depth int, ttl time.Duration) *scheduler {
+	baseCtx, cancelBase := context.WithCancelCause(context.Background())
 	s := &scheduler{
-		queue: make(chan *job, depth),
-		jobs:  make(map[string]*job),
-		ttl:   ttl,
-		now:   time.Now,
+		queue:      make(chan *job, depth),
+		jobs:       make(map[string]*job),
+		ttl:        ttl,
+		now:        time.Now,
+		baseCtx:    baseCtx,
+		cancelBase: cancelBase,
+		timeoutCtx: func(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+			return context.WithTimeout(parent, d)
+		},
 	}
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
@@ -190,14 +259,32 @@ func newScheduler(workers, depth int, ttl time.Duration) *scheduler {
 }
 
 func (s *scheduler) runJob(j *job) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	if draining {
+		// The scheduler is shutting down: jobs still in the queue finish
+		// as cancelled instead of running, so their waiters unblock and
+		// wait() can never hang on a closed scheduler.
+		s.finishCancelled(j, errShuttingDown)
+		return
+	}
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	runCtx, stopTimer := context.Context(ctx), context.CancelFunc(func() {})
+	if j.timeout > 0 {
+		runCtx, stopTimer = s.timeoutCtx(ctx, j.timeout)
+	}
 	j.mu.Lock()
 	if j.state != jobQueued {
 		// Cancelled while waiting in the queue: the job is already
 		// terminal, never run it.
 		j.mu.Unlock()
+		stopTimer()
+		cancel(nil)
 		return
 	}
 	j.state = jobRunning
+	j.cancel = cancel
 	j.mu.Unlock()
 	var (
 		result []byte
@@ -209,12 +296,49 @@ func (s *scheduler) runJob(j *job) {
 				err = fmt.Errorf("job panicked: %v", r)
 			}
 		}()
-		result, err = j.fn(j)
+		result, err = j.fn(runCtx, j)
 	}()
+	cause := context.Cause(runCtx)
+	stopTimer()
+	cancel(nil)
 	finishedAt := s.now()
-	j.finish(result, err, finishedAt)
+	j.finish(result, err, cause, finishedAt)
 	s.mu.Lock()
 	s.noteFinishedLocked(finishedAt)
+	if s.closed {
+		// This job was in flight when shutdown began; record whether it
+		// drained to a real result or was cut short.
+		if st := j.status().Status; st == jobCancelled {
+			s.shutdownCancelled++
+		} else {
+			s.shutdownDrained++
+		}
+	}
+	s.mu.Unlock()
+}
+
+// finishCancelled lands a not-yet-running job in the cancelled state
+// (no-op if it already left the queued state) and counts it against the
+// shutdown if one is in progress.
+func (s *scheduler) finishCancelled(j *job, cause error) {
+	finishedAt := s.now()
+	j.mu.Lock()
+	if j.state != jobQueued {
+		j.mu.Unlock()
+		return
+	}
+	j.state = jobCancelled
+	j.errMsg = cause.Error()
+	j.finishedAt = finishedAt
+	j.mu.Unlock()
+	close(j.done)
+	// s.mu strictly after j.mu is released: counts() nests the locks
+	// the other way around (s.mu, then each j.mu).
+	s.mu.Lock()
+	s.noteFinishedLocked(finishedAt)
+	if s.closed {
+		s.shutdownCancelled++
+	}
 	s.mu.Unlock()
 }
 
@@ -298,10 +422,13 @@ func (s *scheduler) registerLocked(j *job) {
 // submit registers and enqueues a job, or fails fast with errQueueFull.
 // key is the cache key the job computes ("" for uncached work); the
 // server's singleflight group uses it to collapse duplicate misses.
-// The enqueue happens under s.mu — the same lock close() closes the
-// queue under — so a send on a closed channel is impossible.
-func (s *scheduler) submit(kind, key string, fn func(*job) ([]byte, error)) (*job, error) {
-	j := &job{kind: kind, key: key, fn: fn, done: make(chan struct{}), state: jobQueued}
+// timeout, when positive, bounds the job's execution (not its queue
+// wait): past it the job's context is cancelled with a deadline cause
+// and the job fails as deadline-exceeded. The enqueue happens under
+// s.mu — the same lock close() closes the queue under — so a send on a
+// closed channel is impossible.
+func (s *scheduler) submit(kind, key string, timeout time.Duration, fn func(context.Context, *job) ([]byte, error)) (*job, error) {
+	j := &job{kind: kind, key: key, timeout: timeout, fn: fn, done: make(chan struct{}), state: jobQueued}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -338,27 +465,28 @@ func (s *scheduler) completed(kind string, result []byte) (*job, error) {
 	return j, nil
 }
 
-// cancel moves a still-queued job to the cancelled state; the worker
-// that eventually dequeues it skips it. Jobs that already started (or
-// finished) return errNotCancellable.
-func (s *scheduler) cancel(j *job) error {
-	finishedAt := s.now()
+// cancel stops a job. A still-queued job lands in cancelled immediately
+// (the worker that eventually dequeues it skips it); a running job has
+// its context cancelled and lands in cancelled when the worker observes
+// it — bounded by the computation's chunk/point granularity, never a
+// hard kill — in which case cancel reports pending=true. Finished jobs
+// return errNotCancellable.
+func (s *scheduler) cancel(j *job) (pending bool, err error) {
 	j.mu.Lock()
-	if j.state != jobQueued {
+	switch j.state {
+	case jobQueued:
 		j.mu.Unlock()
-		return errNotCancellable
+		s.finishCancelled(j, errors.New("cancelled before running"))
+		return false, nil
+	case jobRunning:
+		cancelFn := j.cancel // non-nil exactly while running
+		j.mu.Unlock()
+		cancelFn(errCancelledByDelete)
+		return true, nil
+	default:
+		j.mu.Unlock()
+		return false, errNotCancellable
 	}
-	j.state = jobCancelled
-	j.errMsg = "cancelled before running"
-	j.finishedAt = finishedAt
-	j.mu.Unlock()
-	close(j.done)
-	// s.mu strictly after j.mu is released: counts() nests the locks
-	// the other way around (s.mu, then each j.mu).
-	s.mu.Lock()
-	s.noteFinishedLocked(finishedAt)
-	s.mu.Unlock()
-	return nil
 }
 
 // get looks a job up by id (expired jobs are evicted first, so a
@@ -386,16 +514,48 @@ func (s *scheduler) counts() (states map[string]int, expired int64) {
 	return out, s.expired
 }
 
-// close stops accepting work and waits for queued jobs to drain. The
-// queue is closed under s.mu, serialized against submit's enqueue.
-func (s *scheduler) close() {
+// shutdownCounts returns the drained/cancelled tallies of a shutdown in
+// progress (or completed), for /metrics and the cmd-layer drain log.
+func (s *scheduler) shutdownCounts() (drained, cancelled int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shutdownDrained, s.shutdownCancelled
+}
+
+// close stops accepting work and shuts the pool down. Semantics, which
+// TestSchedulerCloseCancelsQueued pins:
+//
+//   - new submissions fail immediately (the HTTP layer answers 503);
+//   - jobs still in the queue finish as cancelled — their waiters
+//     unblock, wait() never hangs on a closed scheduler;
+//   - jobs already running get until ctx's deadline to finish
+//     naturally; when the deadline passes their contexts are cancelled
+//     (cause: shutdown) and close waits for them to observe it, which
+//     cooperative computations do within one chunk or grid point.
+//
+// close(context.Background()) therefore drains running jobs fully and
+// is what Server.Close uses; cmd/htdp passes a -draintimeout-bounded
+// context on SIGTERM. Idempotent; the queue is closed under s.mu,
+// serialized against submit's enqueue.
+func (s *scheduler) close(ctx context.Context) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return
 	}
 	s.closed = true
 	close(s.queue)
 	s.mu.Unlock()
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancelBase(errShuttingDown)
+		<-done
+	}
 }

@@ -28,6 +28,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -68,6 +69,12 @@ type Options struct {
 	JobTTL time.Duration
 	// MaxUploadBytes bounds POST /v1/datasets bodies (0 = 1 GiB).
 	MaxUploadBytes int64
+	// RunTimeout, when positive, bounds every compute job's execution
+	// time (queue wait excluded); past it the job is cancelled and the
+	// request answers 504 deadline_exceeded. A request's timeout_ms
+	// field tightens the bound per request but never loosens it beyond
+	// this cap. 0 = no server-side deadline (cmd/htdp -runtimeout).
+	RunTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -137,8 +144,25 @@ func New(pool *data.SourcePool, opt Options) (*Server, error) {
 	return s, nil
 }
 
-// Close drains the scheduler: queued jobs finish, new submissions fail.
-func (s *Server) Close() { s.sched.close() }
+// Shutdown drains the service for a graceful stop: new compute
+// submissions fail (503 shutting_down), jobs still in the queue finish
+// as cancelled, and jobs already running get until ctx's deadline to
+// complete — past it their contexts are cancelled and Shutdown waits
+// for them to land in cancelled, which cooperative computations do
+// within one chunk or grid point. The disk cache tier is flushed before
+// returning. The counts report what happened to the in-flight work:
+// drained jobs finished naturally (their results are cached as usual),
+// cancelled jobs were cut short (nothing cached). Also exposed as the
+// htdp_shutdown_* metrics.
+func (s *Server) Shutdown(ctx context.Context) (drained, cancelled int64) {
+	s.sched.close(ctx)
+	s.store.flush()
+	return s.sched.shutdownCounts()
+}
+
+// Close drains the scheduler with no deadline: queued jobs finish as
+// cancelled, running jobs complete fully, new submissions fail.
+func (s *Server) Close() { s.Shutdown(context.Background()) }
 
 // ServeHTTP dispatches a request, recording per-route request and
 // latency counters around the inner mux.
@@ -265,8 +289,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	jobs, expired := s.sched.counts()
+	drained, cancelled := s.sched.shutdownCounts()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.store.stats(), s.flight.coalescedCount(), jobs, expired, len(s.pool.List()))
+	s.met.write(w, s.store.stats(), s.flight.coalescedCount(), jobs, expired, len(s.pool.List()), drained, cancelled)
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -373,13 +398,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey("run", canon)
 	exec := canon
 	exec.Parallelism = q.Parallelism
-	s.serveCachedOrRun(w, key, q.Async, "run", func(func(experiments.Progress)) ([]byte, error) {
+	s.serveCachedOrRun(w, key, q.Async, "run", s.jobTimeout(q.TimeoutMS), func(ctx context.Context, _ func(experiments.Progress)) ([]byte, error) {
 		src, err := s.pool.Acquire(exec.Dataset)
 		if err != nil {
 			return nil, err
 		}
 		defer src.Close()
-		res, err := ExecuteRun(src, exec)
+		res, err := ExecuteRun(ctx, src, exec)
 		if err != nil {
 			return nil, err
 		}
@@ -426,8 +451,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey("sweep", canon)
 	exec := canon
 	exec.Parallelism = q.Parallelism
-	s.serveCachedOrRun(w, key, q.Async, "sweep", func(progress func(experiments.Progress)) ([]byte, error) {
-		panels, err := experiments.RunSweep(exec, open, progress)
+	s.serveCachedOrRun(w, key, q.Async, "sweep", s.jobTimeout(q.TimeoutMS), func(ctx context.Context, progress func(experiments.Progress)) ([]byte, error) {
+		panels, err := experiments.RunSweep(ctx, exec, open, progress)
 		if err != nil {
 			return nil, err
 		}
@@ -438,6 +463,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// jobTimeout resolves the effective execution deadline of one compute
+// job: the request's timeout_ms when set, capped by the server-wide
+// Options.RunTimeout when that is set — a request can tighten the
+// server's bound, never loosen it. Zero means no deadline.
+func (s *Server) jobTimeout(reqMS int64) time.Duration {
+	req := time.Duration(reqMS) * time.Millisecond
+	switch {
+	case req <= 0:
+		return s.opt.RunTimeout
+	case s.opt.RunTimeout > 0 && s.opt.RunTimeout < req:
+		return s.opt.RunTimeout
+	default:
+		return req
+	}
+}
+
 // serveCachedOrRun is the shared store-then-schedule tail of the two
 // compute endpoints: consult the result store (memory, then disk),
 // otherwise join the singleflight group for the key — the first miss
@@ -445,9 +486,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // misses attach to it as followers (header "coalesced") instead of
 // scheduling duplicates. compute returns the result document WITHOUT
 // the trailing newline; the newline is appended once here so cached
-// and fresh responses share exact bytes. The progress sink it receives
-// feeds the job's progress field and SSE stream (runs ignore it).
-func (s *Server) serveCachedOrRun(w http.ResponseWriter, key string, async bool, kind string, compute func(progress func(experiments.Progress)) ([]byte, error)) {
+// and fresh responses share exact bytes. It receives the job's context
+// (carrying DELETE cancellation, the timeout deadline, and shutdown)
+// and a progress sink feeding the job's progress field and SSE stream
+// (runs ignore the sink).
+func (s *Server) serveCachedOrRun(w http.ResponseWriter, key string, async bool, kind string, timeout time.Duration, compute func(ctx context.Context, progress func(experiments.Progress)) ([]byte, error)) {
 	// The loop exists for two rare races, both of which re-enter as a
 	// fresh lookup: a previous leader finishing between our store miss
 	// and the flight lock (its bytes are in the store — serve them, do
@@ -482,20 +525,25 @@ func (s *Server) serveCachedOrRun(w http.ResponseWriter, key string, async bool,
 			s.flight.mu.Unlock()
 			continue
 		}
-		work := func(j *job) ([]byte, error) {
+		work := func(ctx context.Context, j *job) ([]byte, error) {
 			// Leave the flight group only after the store holds the
 			// bytes, so late requests find one or the other — never
 			// neither.
 			defer s.flight.drop(key, j)
-			b, err := compute(j.setProgress)
+			b, err := compute(ctx, j.setProgress)
 			if err != nil {
 				return nil, err
 			}
 			b = append(b, '\n')
+			// Only reached when compute succeeded. A cancelled or
+			// timed-out compute errors out above, so a job that lands in
+			// cancelled (or 504) never caches anything; a compute that
+			// raced its cancellation to completion produced full, valid
+			// bytes and finishes as done — caching those is correct.
 			s.store.put(key, b)
 			return b, nil
 		}
-		j, err := s.sched.submit(kind, key, work)
+		j, err := s.sched.submit(kind, key, timeout, work)
 		if err != nil {
 			s.flight.mu.Unlock()
 			if err == errQueueFull {
@@ -562,7 +610,11 @@ func (s *Server) awaitJob(w http.ResponseWriter, j *job, async bool, kind, tier 
 	st := j.status()
 	switch st.Status {
 	case jobFailed:
-		writeError(w, http.StatusUnprocessableEntity, kind+"_failed", st.Error)
+		if j.deadlineExceeded() {
+			writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", st.Error)
+		} else {
+			writeError(w, http.StatusUnprocessableEntity, kind+"_failed", st.Error)
+		}
 	case jobCancelled:
 		return false
 	default:
@@ -580,23 +632,33 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
-// handleJobDelete answers DELETE /v1/jobs/{id}: cancel a still-queued
-// job. Running jobs cannot be interrupted and finished jobs have
-// nothing to cancel — both get 409. A cancelled singleflight leader is
-// removed from the flight group so the next identical request
-// recomputes instead of attaching to a dead job.
+// handleJobDelete answers DELETE /v1/jobs/{id}: cancel a queued or
+// running job. A queued job lands in cancelled immediately (200); a
+// running job has its context cancelled and the response is 202 with
+// the job still running — the worker observes the cancel within one
+// grid point or chunk read and lands the job in cancelled, nothing is
+// cached, and the partial work is discarded (poll /v1/jobs or subscribe
+// to /events for the terminal state). Finished jobs have nothing to
+// cancel — 409. A cancelled singleflight leader is removed from the
+// flight group so the next identical request recomputes instead of
+// attaching to a dead job.
 func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.sched.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "not_found", "unknown job "+r.PathValue("id"))
 		return
 	}
-	if err := s.sched.cancel(j); err != nil {
+	pending, err := s.sched.cancel(j)
+	if err != nil {
 		writeError(w, http.StatusConflict, "not_cancellable",
-			fmt.Sprintf("job %s is %s; only queued jobs can be cancelled", j.id, j.status().Status))
+			fmt.Sprintf("job %s is %s; it already finished", j.id, j.status().Status))
 		return
 	}
 	s.flight.drop(j.key, j)
+	if pending {
+		writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
 	writeJSON(w, http.StatusOK, j.status())
 }
 
@@ -610,10 +672,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case jobDone:
 		writeResult(w, j.resultBytes(), "hit")
 	case jobFailed:
+		if j.deadlineExceeded() {
+			writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", st.Error)
+			return
+		}
 		writeError(w, http.StatusUnprocessableEntity, st.Kind+"_failed", st.Error)
 	case jobCancelled:
 		writeError(w, http.StatusGone, "cancelled",
-			fmt.Sprintf("job %s was cancelled before running; re-submit the request", st.ID))
+			fmt.Sprintf("job %s was cancelled (%s); re-submit the request", st.ID, st.Error))
 	default:
 		writeError(w, http.StatusConflict, "not_finished",
 			fmt.Sprintf("job %s is %s; poll /v1/jobs/%s", st.ID, st.Status, st.ID))

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -105,7 +106,7 @@ func sequentialReference(t *testing.T, csvPath string, q RunRequest) []byte {
 	}
 	defer src.Close()
 	q.Parallelism = 1
-	res, err := ExecuteRun(src, q)
+	res, err := ExecuteRun(context.Background(), src, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +405,7 @@ func TestUploadAndRun(t *testing.T) {
 	src := data.NewMemSource(ref)
 	direct := req
 	direct.Parallelism = 1
-	res, err := ExecuteRun(src, direct)
+	res, err := ExecuteRun(context.Background(), src, direct)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -455,7 +456,7 @@ func TestSweepEndpoint(t *testing.T) {
 	if hdr.Get("X-Htdp-Cache") != "miss" {
 		t.Fatalf("first sweep cache = %q", hdr.Get("X-Htdp-Cache"))
 	}
-	panels, err := experiments.RunSweep(req, nil)
+	panels, err := experiments.RunSweep(context.Background(), req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -592,11 +593,11 @@ func TestSweepFailureKeepsServing(t *testing.T) {
 
 func TestSchedulerBackpressure(t *testing.T) {
 	s := newScheduler(1, 1, 0)
-	defer s.close()
+	defer s.close(context.Background())
 	block := make(chan struct{})
 	started := make(chan struct{})
 	// Occupy the single worker...
-	j1, err := s.submit("run", "", func(*job) ([]byte, error) {
+	j1, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) {
 		close(started)
 		<-block
 		return []byte("a\n"), nil
@@ -606,12 +607,12 @@ func TestSchedulerBackpressure(t *testing.T) {
 	}
 	<-started
 	// ...fill the depth-1 queue...
-	j2, err := s.submit("run", "", func(*job) ([]byte, error) { return []byte("b\n"), nil })
+	j2, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) { return []byte("b\n"), nil })
 	if err != nil {
 		t.Fatal(err)
 	}
 	// ...and the next submission is rejected, not queued.
-	if _, err := s.submit("run", "", func(*job) ([]byte, error) { return nil, nil }); err != errQueueFull {
+	if _, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) { return nil, nil }); err != errQueueFull {
 		t.Fatalf("overfull submit err = %v, want errQueueFull", err)
 	}
 	close(block)
@@ -621,7 +622,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 		t.Fatalf("queued job state = %q", got)
 	}
 	// Failed jobs report their error; panics are contained.
-	j3, err := s.submit("run", "", func(*job) ([]byte, error) { return nil, fmt.Errorf("boom") })
+	j3, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) { return nil, fmt.Errorf("boom") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -629,7 +630,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 	if st := j3.status(); st.Status != jobFailed || st.Error != "boom" {
 		t.Fatalf("failed job status = %+v", st)
 	}
-	j4, err := s.submit("run", "", func(*job) ([]byte, error) { panic("kaboom") })
+	j4, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) { panic("kaboom") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -641,14 +642,14 @@ func TestSchedulerBackpressure(t *testing.T) {
 
 func TestSchedulerSubmitAfterClose(t *testing.T) {
 	s := newScheduler(1, 4, 0)
-	s.close()
-	if _, err := s.submit("run", "", func(*job) ([]byte, error) { return nil, nil }); err == nil {
+	s.close(context.Background())
+	if _, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) { return nil, nil }); err == nil {
 		t.Fatal("submit after close: expected error, not a panic or success")
 	}
 	if _, err := s.completed("run", []byte("x\n")); err == nil {
 		t.Fatal("completed after close: expected error")
 	}
-	s.close() // idempotent
+	s.close(context.Background()) // idempotent
 }
 
 func TestMetricsRouteCardinalityBounded(t *testing.T) {
@@ -841,7 +842,7 @@ func TestDiskTierCrashRestartRoundTrip(t *testing.T) {
 	// Occupy the single worker so the next submission stays queued —
 	// genuinely in flight at crash time.
 	release := make(chan struct{})
-	if _, err := srv1.sched.submit("run", "", func(*job) ([]byte, error) {
+	if _, err := srv1.sched.submit("run", "", 0, func(context.Context, *job) ([]byte, error) {
 		<-release
 		return []byte("x\n"), nil
 	}); err != nil {
@@ -915,7 +916,7 @@ func TestSingleflightCoalescesConcurrentMisses(t *testing.T) {
 	// the followers arrive: every one of the N requests must take the
 	// miss path.
 	release := make(chan struct{})
-	blocker, err := srv.sched.submit("run", "", func(*job) ([]byte, error) {
+	blocker, err := srv.sched.submit("run", "", 0, func(context.Context, *job) ([]byte, error) {
 		<-release
 		return []byte("x\n"), nil
 	})
@@ -991,7 +992,7 @@ func TestSingleflightCoalescesConcurrentMisses(t *testing.T) {
 func TestSingleflightAsyncAttachesToSameJob(t *testing.T) {
 	ts, srv, _ := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
 	release := make(chan struct{})
-	if _, err := srv.sched.submit("run", "", func(*job) ([]byte, error) {
+	if _, err := srv.sched.submit("run", "", 0, func(context.Context, *job) ([]byte, error) {
 		<-release
 		return []byte("x\n"), nil
 	}); err != nil {
@@ -1020,14 +1021,15 @@ func TestSingleflightAsyncAttachesToSameJob(t *testing.T) {
 	close(release)
 }
 
-// TestJobCancellation: DELETE /v1/jobs/{id} cancels a queued job; a
-// running or finished job is not cancellable; a cancelled job's result
-// is 410; and a cancelled singleflight leader does not wedge later
-// requests for the same key.
+// TestJobCancellation: DELETE /v1/jobs/{id} cancels a queued job
+// immediately (200); a finished job is not cancellable (409); a
+// cancelled job's result is 410; and a cancelled singleflight leader
+// does not wedge later requests for the same key. Cancelling a RUNNING
+// job is covered by TestCancelRunningJob.
 func TestJobCancellation(t *testing.T) {
 	ts, srv, path := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
 	release := make(chan struct{})
-	blocker, err := srv.sched.submit("run", "", func(*job) ([]byte, error) {
+	blocker, err := srv.sched.submit("run", "", 0, func(context.Context, *job) ([]byte, error) {
 		<-release
 		return []byte("x\n"), nil
 	})
@@ -1057,12 +1059,9 @@ func TestJobCancellation(t *testing.T) {
 	if code, body := get(t, ts.URL+"/v1/results/"+st.ID); code != 410 || !strings.Contains(string(body), "cancelled") {
 		t.Fatalf("cancelled result = %d %q, want 410", code, body)
 	}
-	// Cancelling twice, or cancelling a running job, conflicts.
+	// Cancelling twice conflicts: the job already finished.
 	if code, _ := deleteJob(t, ts.URL, st.ID); code != 409 {
 		t.Fatalf("double cancel = %d, want 409", code)
-	}
-	if code, _ := deleteJob(t, ts.URL, blocker.id); code != 409 {
-		t.Fatalf("cancel running = %d, want 409", code)
 	}
 	if code, _ := deleteJob(t, ts.URL, "job-999999"); code != 404 {
 		t.Fatalf("cancel unknown = %d, want 404", code)
@@ -1093,7 +1092,7 @@ func TestJobCancellation(t *testing.T) {
 // jobs never expire.
 func TestJobTTLEviction(t *testing.T) {
 	s := newScheduler(1, 4, time.Minute)
-	defer s.close()
+	defer s.close(context.Background())
 	var (
 		mu  sync.Mutex
 		now = time.Unix(1000, 0)
@@ -1109,13 +1108,13 @@ func TestJobTTLEviction(t *testing.T) {
 		mu.Unlock()
 	}
 
-	quick, err := s.submit("run", "", func(*job) ([]byte, error) { return []byte("q\n"), nil })
+	quick, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) { return []byte("q\n"), nil })
 	if err != nil {
 		t.Fatal(err)
 	}
 	quick.wait()
 	release := make(chan struct{})
-	slow, err := s.submit("run", "", func(*job) ([]byte, error) {
+	slow, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) {
 		<-release
 		return []byte("s\n"), nil
 	})
@@ -1242,7 +1241,7 @@ func TestSweepProgressAndSSE(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("results = %d", code)
 	}
-	panels, err := experiments.RunSweep(req, nil)
+	panels, err := experiments.RunSweep(context.Background(), req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

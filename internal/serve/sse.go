@@ -71,7 +71,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
-	ch := j.subscribe()
+	ch := j.subscribe(32)
 	defer j.unsubscribe(ch)
 	emit := func(name string, v any) {
 		b, err := json.Marshal(v)

@@ -344,6 +344,28 @@ func (s *store) dropDiskLocked(el *list.Element) {
 	s.diskBytes -= item.size
 }
 
+// flush makes the disk tier fully durable for an orderly stop: every
+// entry's contents are already fsynced at write time, so the only thing
+// left to persist is the directory itself (the renames that made the
+// entries visible). One directory fsync covers them all. No-op for a
+// memory-only store; fsync failures count as disk errors, like any
+// other disk-tier fault.
+func (s *store) flush() {
+	if s.dir == "" {
+		return
+	}
+	d, err := os.Open(s.dir)
+	if err == nil {
+		err = d.Sync()
+		d.Close()
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.diskErrs++
+		s.mu.Unlock()
+	}
+}
+
 // stats returns one consistent snapshot of the counters and tier sizes.
 func (s *store) stats() storeStats {
 	s.mu.Lock()
