@@ -16,8 +16,9 @@
 //	htdp -stream big.csv -algo lasso          # out-of-core LASSO
 //	htdp -run streaming -stream big.csv       # the streaming sweep on a CSV
 //
-//	htdp -serve :8080                         # the estimation service
-//	htdp -serve :8080 -dataset year=year.csv  # ... with a pooled CSV
+//	htdp -serve :8080 -noauth                 # the estimation service (dev mode)
+//	htdp -serve :8080 -tokens tokens.txt      # ... with tenant auth (required outside -noauth)
+//	htdp -serve :8080 -noauth -dataset year=year.csv  # ... with a pooled CSV
 //
 // Performance tooling:
 //
@@ -96,6 +97,13 @@ func run(args []string, stdout io.Writer) error {
 		jobttl       = fs.Duration("jobttl", 0, "-serve finished-job retention age (e.g. 30m; 0 = count-bounded only)")
 		runtimeout   = fs.Duration("runtimeout", 0, "-serve per-job execution deadline (e.g. 5m; 0 = none); past it a job fails with 504 deadline_exceeded")
 		draintimeout = fs.Duration("draintimeout", 30*time.Second, "-serve graceful-shutdown drain window on SIGTERM/SIGINT; running jobs beyond it are cancelled")
+		tokens       = fs.String("tokens", "", "-serve token→tenant file (`token tenant [weight]` per line, # comments); required unless -noauth. SIGHUP reloads it")
+		noauth       = fs.Bool("noauth", false, "-serve without authentication: every request is the shared \"anonymous\" tenant (dev mode)")
+		tenantrate   = fs.Float64("tenantrate", 0, "-serve per-tenant rate limit on work-creating POSTs, requests/sec (0 = off); beyond it 429 rate_limited")
+		tenantburst  = fs.Int("tenantburst", 0, "-serve per-tenant burst size of -tenantrate (0 = 1)")
+		tenantjobs   = fs.Int("tenantjobs", 0, "-serve cap on one tenant's concurrently running jobs (0 = unlimited)")
+		tenantqueue  = fs.Int("tenantqueue", 0, "-serve cap on one tenant's queued jobs (0 = bounded only by -queue); beyond it 429 quota_exceeded")
+		accesslog    = fs.Bool("accesslog", false, "-serve structured JSON request log on stderr (method, route, status, tenant, duration)")
 		progress     = fs.Bool("progress", false, "print per-panel sweep progress to stderr during -run")
 	)
 	var datasets []string
@@ -160,11 +168,18 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		defer pool.Close()
-		return runServe(w, *serveAddr, pool, serve.Options{
+		opt := serve.Options{
 			Workers: *workers, QueueDepth: *queue,
 			MemCacheBytes: *cachemem, CacheDir: *cachedir, DiskCacheBytes: *cachedisk,
 			JobTTL: *jobttl, RunTimeout: *runtimeout,
-		}, *draintimeout)
+			TokensPath: *tokens, NoAuth: *noauth,
+			TenantRate: *tenantrate, TenantBurst: *tenantburst,
+			TenantJobs: *tenantjobs, TenantQueue: *tenantqueue,
+		}
+		if *accesslog {
+			opt.AccessLog = os.Stderr
+		}
+		return runServe(w, *serveAddr, pool, opt, *draintimeout)
 	}
 
 	if *stream != "" && *runID == "" && !*list {
@@ -412,6 +427,23 @@ func runServe(w io.Writer, addr string, pool *data.SourcePool, opt serve.Options
 	}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	// SIGHUP rotates the token table in place: the -tokens file is
+	// re-read, new tokens serve immediately, and a tenant whose every
+	// token disappeared has its queued and running jobs cancelled
+	// (OPERATIONS.md, "Multi-tenancy"). A parse error keeps the old
+	// table and logs — rotation can never lock everyone out.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if err := srv.ReloadTokens(); err != nil {
+				fmt.Fprintln(os.Stderr, "htdp: token reload failed (previous table still serving):", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "htdp: token file reloaded")
+			}
+		}
+	}()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	select {

@@ -145,15 +145,15 @@ func TestStreamFeedsStreamingExperiment(t *testing.T) {
 	}
 }
 
-// smokeServer is the exact server `htdp -serve` runs with no extra
-// flags: the built-in demo pool, default sizing.
+// smokeServer is the exact server `htdp -serve -noauth` runs with no
+// extra flags: the built-in demo pool, default sizing.
 func smokeServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	pool, err := buildServePool("", nil, -1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := serve.New(pool, serve.Options{})
+	srv, err := serve.New(pool, serve.Options{NoAuth: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,10 +267,10 @@ func TestBuildServePool(t *testing.T) {
 
 func TestServeFlagErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-serve", "127.0.0.1:999999"}, &buf); err == nil {
+	if err := run([]string{"-serve", "127.0.0.1:999999", "-noauth"}, &buf); err == nil {
 		t.Fatal("bad listen address: expected error")
 	}
-	if err := run([]string{"-serve", ":0", "-dataset", "nope"}, &buf); err == nil {
+	if err := run([]string{"-serve", ":0", "-noauth", "-dataset", "nope"}, &buf); err == nil {
 		t.Fatal("malformed -dataset: expected error")
 	}
 	// An unusable -cachedir fails at startup, not silently memory-only.
@@ -278,8 +278,39 @@ func TestServeFlagErrors(t *testing.T) {
 	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-serve", ":0", "-cachedir", blocked}, &buf); err == nil {
+	if err := run([]string{"-serve", ":0", "-noauth", "-cachedir", blocked}, &buf); err == nil {
 		t.Fatal("unusable -cachedir: expected error")
+	}
+}
+
+// TestServeAuthFlagErrors pins the fail-fast auth contract: the server
+// refuses to boot open, and refuses contradictory auth flags.
+func TestServeAuthFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-serve", ":0"}, &buf)
+	if err == nil {
+		t.Fatal("serve without -tokens or -noauth: expected error")
+	}
+	if !strings.Contains(err.Error(), "-noauth") {
+		t.Fatalf("boot-open error does not name the opt-out: %v", err)
+	}
+	tokens := filepath.Join(t.TempDir(), "tokens")
+	if err := os.WriteFile(tokens, []byte("tok-a alice\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-serve", ":0", "-tokens", tokens, "-noauth"}, &buf); err == nil {
+		t.Fatal("-tokens with -noauth: expected mutual-exclusion error")
+	}
+	// A missing or malformed token file fails at startup, not at first use.
+	if err := run([]string{"-serve", ":0", "-tokens", filepath.Join(t.TempDir(), "gone")}, &buf); err == nil {
+		t.Fatal("missing token file: expected error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("just-a-token\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-serve", ":0", "-tokens", bad}, &buf); err == nil {
+		t.Fatal("malformed token file: expected error")
 	}
 }
 

@@ -481,7 +481,9 @@ type (
 	// any http.Server.
 	Server = serve.Server
 	// ServeOptions sizes the service (workers, queue depth, the
-	// two-tier result cache, job TTL).
+	// two-tier result cache, job TTL) and configures its multi-tenant
+	// front door (TokensPath/NoAuth, per-tenant rate limits and
+	// quotas, fair-queueing weights via the token file).
 	ServeOptions = serve.Options
 	// RunRequest is the body of POST /v1/run — and the parameter set of
 	// ExecuteRun.
@@ -505,8 +507,12 @@ func NewSourcePool() *SourcePool { return data.NewSourcePool() }
 // NewServer builds the estimation service over an already-populated
 // pool; the caller keeps pool ownership and must Close the server to
 // drain its scheduler (or Shutdown for a deadline-bounded drain — see
-// OPERATIONS.md, "Deploys and drains"). It errors when the durable
-// cache tier (ServeOptions.CacheDir) cannot be created or scanned.
+// OPERATIONS.md, "Deploys and drains"). Exactly one of
+// ServeOptions.TokensPath and ServeOptions.NoAuth must be set: the
+// front door authenticates every request to a tenant or is explicitly
+// opted out. It errors when the token file is missing or malformed, or
+// when the durable cache tier (ServeOptions.CacheDir) cannot be
+// created or scanned.
 func NewServer(pool *SourcePool, opt ServeOptions) (*Server, error) { return serve.New(pool, opt) }
 
 // ExecuteRun runs one algorithm over a source per the request — the

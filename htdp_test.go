@@ -212,7 +212,7 @@ func TestFacadeServing(t *testing.T) {
 		t.Fatalf("Lookup = %+v, %v", e, err)
 	}
 
-	srv, err := htdp.NewServer(pool, htdp.ServeOptions{Workers: 2})
+	srv, err := htdp.NewServer(pool, htdp.ServeOptions{Workers: 2, NoAuth: true})
 	if err != nil {
 		t.Fatal(err)
 	}

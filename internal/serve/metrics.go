@@ -43,10 +43,22 @@ func (m *metrics) observe(route string, code int, dur time.Duration) {
 	m.latCount[route]++
 }
 
+// tenantStats bundles the per-tenant series for one /metrics render:
+// cumulative requests, 429s by reason, enforcement cancellations, and
+// the current queued/running job gauges. Label cardinality is bounded
+// by the token table (plus "anonymous"), never by traffic.
+type tenantStats struct {
+	requests  map[string]int64
+	throttled map[throttleKey]int64
+	cancelled map[string]int64
+	queued    map[string]int
+	running   map[string]int
+}
+
 // write renders the exposition text. Lines are emitted in sorted label
 // order so scrapes are stable. OPERATIONS.md documents every series
 // and its alerting hints.
-func (m *metrics) write(w io.Writer, st storeStats, coalesced int64, jobs map[string]int, expired int64, datasets int, shutdownDrained, shutdownCancelled int64) {
+func (m *metrics) write(w io.Writer, st storeStats, coalesced int64, jobs map[string]int, expired int64, datasets int, shutdownDrained, shutdownCancelled int64, tenants tenantStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -112,6 +124,44 @@ func (m *metrics) write(w io.Writer, st storeStats, coalesced int64, jobs map[st
 	fmt.Fprintln(w, "# TYPE htdp_shutdown_cancelled_total counter")
 	fmt.Fprintf(w, "htdp_shutdown_cancelled_total %d\n", shutdownCancelled)
 
+	fmt.Fprintln(w, "# TYPE htdp_tenant_requests_total counter")
+	for _, t := range sortedKeys(tenants.requests) {
+		fmt.Fprintf(w, "htdp_tenant_requests_total{tenant=%q} %d\n", t, tenants.requests[t])
+	}
+	fmt.Fprintln(w, "# TYPE htdp_tenant_throttled_total counter")
+	tkeys := make([]throttleKey, 0, len(tenants.throttled))
+	for k := range tenants.throttled {
+		tkeys = append(tkeys, k)
+	}
+	sort.Slice(tkeys, func(i, j int) bool {
+		if tkeys[i].tenant != tkeys[j].tenant {
+			return tkeys[i].tenant < tkeys[j].tenant
+		}
+		return tkeys[i].reason < tkeys[j].reason
+	})
+	for _, k := range tkeys {
+		fmt.Fprintf(w, "htdp_tenant_throttled_total{tenant=%q,reason=%q} %d\n", k.tenant, k.reason, tenants.throttled[k])
+	}
+	fmt.Fprintln(w, "# TYPE htdp_tenant_cancelled_over_quota_total counter")
+	for _, t := range sortedKeys(tenants.cancelled) {
+		fmt.Fprintf(w, "htdp_tenant_cancelled_over_quota_total{tenant=%q} %d\n", t, tenants.cancelled[t])
+	}
+	fmt.Fprintln(w, "# TYPE htdp_tenant_jobs gauge")
+	for _, t := range sortedKeys(tenants.queued) {
+		fmt.Fprintf(w, "htdp_tenant_jobs{tenant=%q,state=\"queued\"} %d\n", t, tenants.queued[t])
+		fmt.Fprintf(w, "htdp_tenant_jobs{tenant=%q,state=\"running\"} %d\n", t, tenants.running[t])
+	}
+
 	fmt.Fprintln(w, "# TYPE htdp_pool_datasets gauge")
 	fmt.Fprintf(w, "htdp_pool_datasets %d\n", datasets)
+}
+
+// sortedKeys returns a map's keys in sorted order for stable scrapes.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -184,7 +184,11 @@ func ExecuteRun(ctx context.Context, src data.Source, q RunRequest) (*RunResult,
 // cacheKey derives the deterministic cache key of a canonicalized
 // request: the SHA-256 of its kind-tagged JSON encoding. encoding/json
 // marshals struct fields in declaration order with shortest round-trip
-// floats, so equal canonical requests always hash equally.
+// floats, so equal canonical requests always hash equally. The key
+// deliberately contains nothing about the requester: tenancy, like
+// Parallelism, schedules the work without changing its bytes, so the
+// same request from two tenants shares one entry and coalesces onto
+// one computation.
 func cacheKey(kind string, canonical any) string {
 	b, err := json.Marshal(canonical)
 	if err != nil {

@@ -20,8 +20,17 @@
 //     that survives restarts;
 //   - a singleflight group collapses concurrent misses of one key
 //     behind a single scheduled job;
-//   - /metrics exposes request, latency, cache-tier, singleflight, and
-//     job counters (OPERATIONS.md documents every series).
+//   - a multi-tenant front door resolves every request to a tenant
+//     (token auth via Authorization: Bearer or X-Htdp-Token, loaded
+//     from a tokens file), rate-limits and quota-bounds each tenant
+//     ahead of the global scheduler bound, and dispatches tenants'
+//     queues by deterministic weighted round-robin so one tenant's
+//     flood cannot starve another — tenancy, like Parallelism, is
+//     excluded from the cache key, so identical requests from two
+//     tenants still coalesce onto one computation and one cache entry;
+//   - /metrics exposes request, latency, cache-tier, singleflight,
+//     job, and per-tenant counters (OPERATIONS.md documents every
+//     series).
 //
 // Endpoints, schemas, the error envelope, and the determinism/caching
 // contract are documented in API.md; cmd/htdp -serve wires this up.
@@ -32,11 +41,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"htdp/internal/data"
@@ -75,6 +86,41 @@ type Options struct {
 	// field tightens the bound per request but never loosens it beyond
 	// this cap. 0 = no server-side deadline (cmd/htdp -runtimeout).
 	RunTimeout time.Duration
+	// TokensPath names the token→tenant file of the front door (format
+	// in OPERATIONS.md: one `token tenant [weight]` per line). Exactly
+	// one of TokensPath and NoAuth must be set — New fails otherwise,
+	// so a server can never start silently unauthenticated
+	// (cmd/htdp -tokens).
+	TokensPath string
+	// NoAuth disables authentication: every request resolves to the
+	// shared "anonymous" tenant. Development mode only
+	// (cmd/htdp -noauth).
+	NoAuth bool
+	// TenantRate is the per-tenant token-bucket refill rate in
+	// requests per second for the admission-controlled endpoints (the
+	// compute and upload POSTs); beyond it requests answer 429
+	// rate_limited with Retry-After. 0 = no rate limit
+	// (cmd/htdp -tenantrate).
+	TenantRate float64
+	// TenantBurst is the token-bucket capacity — how many
+	// admission-controlled requests one tenant may issue back to back
+	// before the rate applies (0 = 1; cmd/htdp -tenantburst).
+	TenantBurst int
+	// TenantJobs caps one tenant's concurrently *running* jobs; a
+	// tenant at its cap keeps its jobs queued (its own queue, nobody
+	// else's dispatch) until a slot frees. 0 = unlimited
+	// (cmd/htdp -tenantjobs).
+	TenantJobs int
+	// TenantQueue caps one tenant's share of the pending-job queue;
+	// beyond it that tenant's submissions answer 429 quota_exceeded
+	// while other tenants keep submitting. 0 = bounded only by
+	// QueueDepth (cmd/htdp -tenantqueue).
+	TenantQueue int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (method, path, normalized route, status, tenant,
+	// duration). Writes are serialized by the server
+	// (cmd/htdp -accesslog).
+	AccessLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -100,13 +146,17 @@ func (o Options) withDefaults() Options {
 // New, mount it on any http.Server (it implements http.Handler), and
 // Close it to drain the scheduler.
 type Server struct {
-	pool   *data.SourcePool
-	sched  *scheduler
-	store  *store
-	flight *flight
-	met    *metrics
-	mux    *http.ServeMux
-	opt    Options
+	pool    *data.SourcePool
+	sched   *scheduler
+	store   *store
+	flight  *flight
+	met     *metrics
+	auth    *auth
+	limiter *limiter
+	tmet    *tenantMetrics
+	mux     *http.ServeMux
+	opt     Options
+	logMu   sync.Mutex // serializes Options.AccessLog writes
 }
 
 // New builds a Server over an already-populated pool. The pool stays
@@ -115,20 +165,37 @@ type Server struct {
 // the directory is created and scanned (crash leftovers swept, prior
 // results re-indexed) before the server accepts traffic; scan failures
 // are returned rather than silently running without the disk tier.
+// Exactly one of Options.TokensPath and Options.NoAuth must be set —
+// the front door fails fast instead of starting unauthenticated, and
+// a missing or malformed token file is a startup error, not a silent
+// lockout.
 func New(pool *data.SourcePool, opt Options) (*Server, error) {
 	opt = opt.withDefaults()
+	if opt.TokensPath == "" && !opt.NoAuth {
+		return nil, errors.New("serve: authentication is required: set Options.TokensPath (cmd/htdp -tokens) or explicitly opt out with Options.NoAuth (-noauth)")
+	}
+	if opt.TokensPath != "" && opt.NoAuth {
+		return nil, errors.New("serve: Options.TokensPath and Options.NoAuth are mutually exclusive")
+	}
+	a, err := newAuth(opt.TokensPath, opt.NoAuth)
+	if err != nil {
+		return nil, err
+	}
 	st, err := newStore(opt.MemCacheBytes, opt.CacheDir, opt.DiskCacheBytes)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		pool:   pool,
-		sched:  newScheduler(opt.Workers, opt.QueueDepth, opt.JobTTL),
-		store:  st,
-		flight: newFlight(),
-		met:    newMetrics(),
-		mux:    http.NewServeMux(),
-		opt:    opt,
+		pool:    pool,
+		sched:   newScheduler(opt.Workers, opt.QueueDepth, opt.JobTTL, opt.TenantJobs, opt.TenantQueue),
+		store:   st,
+		flight:  newFlight(),
+		met:     newMetrics(),
+		auth:    a,
+		limiter: newLimiter(opt.TenantRate, opt.TenantBurst),
+		tmet:    newTenantMetrics(),
+		mux:     http.NewServeMux(),
+		opt:     opt,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -164,13 +231,114 @@ func (s *Server) Shutdown(ctx context.Context) (drained, cancelled int64) {
 // cancelled, running jobs complete fully, new submissions fail.
 func (s *Server) Close() { s.Shutdown(context.Background()) }
 
-// ServeHTTP dispatches a request, recording per-route request and
-// latency counters around the inner mux.
+// ReloadTokens re-reads Options.TokensPath and swaps the token table —
+// cmd/htdp wires SIGHUP to this, so tokens rotate without a restart. A
+// tenant whose every token disappeared has its queued AND running jobs
+// cancelled through the same context seam DELETE uses (counted in
+// htdp_tenant_cancelled_over_quota_total): revocation reclaims the
+// tenant's scheduler share immediately, mid-job, not at its next
+// request. A parse error leaves the previous table serving and is
+// returned. No-op in NoAuth mode.
+func (s *Server) ReloadTokens() error {
+	removed, err := s.auth.reload()
+	if err != nil {
+		return err
+	}
+	for _, tenant := range removed {
+		if n := s.sched.cancelTenant(tenant, errTenantRevoked); n > 0 {
+			s.tmet.cancelledOverQuota(tenant, n)
+		}
+	}
+	return nil
+}
+
+// authExempt reports whether a path skips the auth middleware:
+// liveness and scrape endpoints stay open so load balancers and
+// Prometheus need no credentials; everything else resolves to a tenant
+// before routing.
+func authExempt(path string) bool {
+	return path == "/healthz" || path == "/metrics"
+}
+
+// rateLimited reports whether a route is admission-controlled by the
+// per-tenant token bucket: the POSTs that create work (compute jobs,
+// uploads). Reads — job polls, SSE, listings — are metered per tenant
+// but never throttled, so a rate-limited tenant can still watch the
+// jobs it already has.
+func rateLimited(route string) bool {
+	return route == "POST /v1/run" || route == "POST /v1/sweep" || route == "POST /v1/datasets"
+}
+
+// ServeHTTP resolves the request to a tenant (401 without a known
+// token, except on the exempt liveness/scrape paths), applies the
+// tenant's rate limit on the work-creating POSTs (429 + Retry-After),
+// then dispatches, recording per-route and per-tenant counters and the
+// structured access log around the inner mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-	s.mux.ServeHTTP(rec, r)
-	s.met.observe(normalizeRoute(r), rec.code, time.Since(start))
+	route := normalizeRoute(r)
+	tenant := ""
+	switch {
+	case authExempt(r.URL.Path):
+		s.mux.ServeHTTP(rec, r)
+	default:
+		t, ok := s.auth.resolve(r)
+		if !ok {
+			rec.Header().Set("WWW-Authenticate", `Bearer realm="htdp"`)
+			writeError(rec, http.StatusUnauthorized, "unauthorized",
+				"missing or unknown API token (send Authorization: Bearer <token> or X-Htdp-Token: <token>)")
+			break
+		}
+		tenant = t
+		s.tmet.request(tenant)
+		if rateLimited(route) {
+			if ok, retry := s.limiter.allow(tenant); !ok {
+				s.tmet.throttle(tenant, throttleRate)
+				rec.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
+				writeError(rec, http.StatusTooManyRequests, "rate_limited",
+					fmt.Sprintf("tenant %s is over its request rate; retry after the Retry-After delay", tenant))
+				break
+			}
+		}
+		s.mux.ServeHTTP(rec, r.WithContext(withTenant(r.Context(), tenant)))
+	}
+	dur := time.Since(start)
+	s.met.observe(route, rec.code, dur)
+	s.logAccess(r, route, rec.code, tenant, dur)
+}
+
+// retryAfterSeconds rounds a wait up to whole seconds (minimum 1) for
+// the Retry-After header.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// logAccess emits one JSON line per request to Options.AccessLog (when
+// set): the structured request log of the front door. tenant is empty
+// for unauthenticated (401) and exempt-path requests.
+func (s *Server) logAccess(r *http.Request, route string, status int, tenant string, dur time.Duration) {
+	if s.opt.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(struct {
+		Method string  `json:"method"`
+		Path   string  `json:"path"`
+		Route  string  `json:"route"`
+		Status int     `json:"status"`
+		Tenant string  `json:"tenant,omitempty"`
+		DurMS  float64 `json:"dur_ms"`
+	}{r.Method, r.URL.Path, route, status, tenant, float64(dur.Microseconds()) / 1e3})
+	if err != nil { // unreachable: the struct marshals by construction
+		return
+	}
+	s.logMu.Lock()
+	s.opt.AccessLog.Write(append(line, '\n'))
+	s.logMu.Unlock()
 }
 
 // statusRecorder captures the response code for metrics. It forwards
@@ -290,8 +458,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	jobs, expired := s.sched.counts()
 	drained, cancelled := s.sched.shutdownCounts()
+	var ts tenantStats
+	ts.requests, ts.throttled, ts.cancelled = s.tmet.snapshot()
+	ts.queued, ts.running = s.sched.tenantCounts()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.store.stats(), s.flight.coalescedCount(), jobs, expired, len(s.pool.List()), drained, cancelled)
+	s.met.write(w, s.store.stats(), s.flight.coalescedCount(), jobs, expired, len(s.pool.List()), drained, cancelled, ts)
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -398,7 +569,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey("run", canon)
 	exec := canon
 	exec.Parallelism = q.Parallelism
-	s.serveCachedOrRun(w, key, q.Async, "run", s.jobTimeout(q.TimeoutMS), func(ctx context.Context, _ func(experiments.Progress)) ([]byte, error) {
+	s.serveCachedOrRun(w, r, key, q.Async, "run", s.jobTimeout(q.TimeoutMS), func(ctx context.Context, _ func(experiments.Progress)) ([]byte, error) {
 		src, err := s.pool.Acquire(exec.Dataset)
 		if err != nil {
 			return nil, err
@@ -451,7 +622,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey("sweep", canon)
 	exec := canon
 	exec.Parallelism = q.Parallelism
-	s.serveCachedOrRun(w, key, q.Async, "sweep", s.jobTimeout(q.TimeoutMS), func(ctx context.Context, progress func(experiments.Progress)) ([]byte, error) {
+	s.serveCachedOrRun(w, r, key, q.Async, "sweep", s.jobTimeout(q.TimeoutMS), func(ctx context.Context, progress func(experiments.Progress)) ([]byte, error) {
 		panels, err := experiments.RunSweep(ctx, exec, open, progress)
 		if err != nil {
 			return nil, err
@@ -484,13 +655,17 @@ func (s *Server) jobTimeout(reqMS int64) time.Duration {
 // otherwise join the singleflight group for the key — the first miss
 // becomes the leader and schedules the one job; concurrent identical
 // misses attach to it as followers (header "coalesced") instead of
-// scheduling duplicates. compute returns the result document WITHOUT
+// scheduling duplicates. The cache key excludes tenancy on purpose, so
+// identical requests from different tenants share one entry and one
+// flight — a follower from another tenant is attached to the leader's
+// job for visibility. compute returns the result document WITHOUT
 // the trailing newline; the newline is appended once here so cached
 // and fresh responses share exact bytes. It receives the job's context
 // (carrying DELETE cancellation, the timeout deadline, and shutdown)
 // and a progress sink feeding the job's progress field and SSE stream
 // (runs ignore the sink).
-func (s *Server) serveCachedOrRun(w http.ResponseWriter, key string, async bool, kind string, timeout time.Duration, compute func(ctx context.Context, progress func(experiments.Progress)) ([]byte, error)) {
+func (s *Server) serveCachedOrRun(w http.ResponseWriter, r *http.Request, key string, async bool, kind string, timeout time.Duration, compute func(ctx context.Context, progress func(experiments.Progress)) ([]byte, error)) {
+	tenant := tenantFrom(r.Context())
 	// The loop exists for two rare races, both of which re-enter as a
 	// fresh lookup: a previous leader finishing between our store miss
 	// and the flight lock (its bytes are in the store — serve them, do
@@ -501,7 +676,7 @@ func (s *Server) serveCachedOrRun(w http.ResponseWriter, key string, async bool,
 	lookup := s.store.get
 	for attempt := 0; attempt < 3; attempt++ {
 		if b, tier, ok := lookup(key); ok {
-			s.serveStored(w, b, tier, async, kind)
+			s.serveStored(w, b, tier, async, kind, tenant)
 			return
 		}
 		// Later iterations must not double-count the one logical miss.
@@ -513,6 +688,9 @@ func (s *Server) serveCachedOrRun(w http.ResponseWriter, key string, async bool,
 		if leader, ok := s.flight.leaders[key]; ok {
 			s.flight.coalesced++
 			s.flight.mu.Unlock()
+			// Cross-tenant coalescing: the follower may receive the
+			// leader's job id (async), so it must be able to see the job.
+			leader.attach(tenant)
 			if s.awaitJob(w, leader, async, kind, "coalesced") {
 				return
 			}
@@ -543,14 +721,20 @@ func (s *Server) serveCachedOrRun(w http.ResponseWriter, key string, async bool,
 			s.store.put(key, b)
 			return b, nil
 		}
-		j, err := s.sched.submit(kind, key, timeout, work)
+		j, err := s.sched.submit(kind, key, tenant, s.auth.weightOf(tenant), timeout, work)
 		if err != nil {
 			s.flight.mu.Unlock()
-			if err == errQueueFull {
+			switch {
+			case errors.Is(err, errQueueFull):
 				writeError(w, http.StatusServiceUnavailable, "queue_full", "job queue is full; retry later")
-				return
+			case errors.Is(err, errTenantQueueFull):
+				s.tmet.throttle(tenant, throttleQuota)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "quota_exceeded",
+					fmt.Sprintf("tenant %s has %d jobs queued, its quota; wait for one to finish or cancel one", tenant, s.opt.TenantQueue))
+			default:
+				writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
 			}
-			writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
 			return
 		}
 		s.flight.leaders[key] = j
@@ -569,9 +753,9 @@ func (s *Server) serveCachedOrRun(w http.ResponseWriter, key string, async bool,
 // Both carry the cache disposition — an async 202 for a stored result
 // names its tier ("hit" or "disk") exactly like the sync response, so
 // callers can tell a served-from-cache job from a scheduled one.
-func (s *Server) serveStored(w http.ResponseWriter, b []byte, tier string, async bool, kind string) {
+func (s *Server) serveStored(w http.ResponseWriter, b []byte, tier string, async bool, kind, tenant string) {
 	if async {
-		j, err := s.sched.completed(kind, b)
+		j, err := s.sched.completed(kind, tenant, b)
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
 			return
@@ -623,10 +807,21 @@ func (s *Server) awaitJob(w http.ResponseWriter, j *job, async bool, kind, tier 
 	return true
 }
 
-func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+// lookupJob resolves {id} to a job the requesting tenant may observe.
+// An existing job belonging to someone else answers the same 404 as an
+// unknown id — job ids are not probeable across tenants.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
 	j, ok := s.sched.get(r.PathValue("id"))
-	if !ok {
+	if !ok || !j.visibleTo(tenantFrom(r.Context())) {
 		writeError(w, http.StatusNotFound, "not_found", "unknown job "+r.PathValue("id"))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -641,11 +836,18 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // to /events for the terminal state). Finished jobs have nothing to
 // cancel — 409. A cancelled singleflight leader is removed from the
 // flight group so the next identical request recomputes instead of
-// attaching to a dead job.
+// attaching to a dead job. Only the submitting tenant may cancel: an
+// attached follower (whose identical request coalesced onto this job)
+// can watch it but gets 403 here — cancelling would discard another
+// tenant's computation too.
 func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.sched.get(r.PathValue("id"))
+	j, ok := s.lookupJob(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "not_found", "unknown job "+r.PathValue("id"))
+		return
+	}
+	if !j.ownedBy(tenantFrom(r.Context())) {
+		writeError(w, http.StatusForbidden, "forbidden",
+			fmt.Sprintf("job %s was submitted by another tenant; only its submitter may cancel it", j.id))
 		return
 	}
 	pending, err := s.sched.cancel(j)
@@ -663,9 +865,8 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.sched.get(r.PathValue("id"))
+	j, ok := s.lookupJob(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "not_found", "unknown job "+r.PathValue("id"))
 		return
 	}
 	switch st := j.status(); st.Status {

@@ -43,13 +43,17 @@ func testCSV(t *testing.T, seed int64, n, d int) (string, *data.Dataset) {
 }
 
 // newTestServer builds a server over a pool holding one CSV-backed
-// dataset named "csv".
+// dataset named "csv". Tests that don't exercise auth run in -noauth
+// mode (every request resolves to the anonymous tenant).
 func newTestServer(t *testing.T, opt Options) (*httptest.Server, *Server, string) {
 	t.Helper()
 	path, _ := testCSV(t, 7, 240, 8)
 	pool := data.NewSourcePool()
 	if _, err := pool.RegisterCSV("csv", path, -1, false); err != nil {
 		t.Fatal(err)
+	}
+	if opt.TokensPath == "" {
+		opt.NoAuth = true
 	}
 	srv, err := New(pool, opt)
 	if err != nil {
@@ -592,12 +596,12 @@ func TestSweepFailureKeepsServing(t *testing.T) {
 }
 
 func TestSchedulerBackpressure(t *testing.T) {
-	s := newScheduler(1, 1, 0)
+	s := newScheduler(1, 1, 0, 0, 0)
 	defer s.close(context.Background())
 	block := make(chan struct{})
 	started := make(chan struct{})
 	// Occupy the single worker...
-	j1, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) {
+	j1, err := s.submit("run", "", anonTenant, 1, 0, func(context.Context, *job) ([]byte, error) {
 		close(started)
 		<-block
 		return []byte("a\n"), nil
@@ -607,12 +611,12 @@ func TestSchedulerBackpressure(t *testing.T) {
 	}
 	<-started
 	// ...fill the depth-1 queue...
-	j2, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) { return []byte("b\n"), nil })
+	j2, err := s.submit("run", "", anonTenant, 1, 0, func(context.Context, *job) ([]byte, error) { return []byte("b\n"), nil })
 	if err != nil {
 		t.Fatal(err)
 	}
 	// ...and the next submission is rejected, not queued.
-	if _, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) { return nil, nil }); err != errQueueFull {
+	if _, err := s.submit("run", "", anonTenant, 1, 0, func(context.Context, *job) ([]byte, error) { return nil, nil }); err != errQueueFull {
 		t.Fatalf("overfull submit err = %v, want errQueueFull", err)
 	}
 	close(block)
@@ -622,7 +626,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 		t.Fatalf("queued job state = %q", got)
 	}
 	// Failed jobs report their error; panics are contained.
-	j3, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) { return nil, fmt.Errorf("boom") })
+	j3, err := s.submit("run", "", anonTenant, 1, 0, func(context.Context, *job) ([]byte, error) { return nil, fmt.Errorf("boom") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -630,7 +634,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 	if st := j3.status(); st.Status != jobFailed || st.Error != "boom" {
 		t.Fatalf("failed job status = %+v", st)
 	}
-	j4, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) { panic("kaboom") })
+	j4, err := s.submit("run", "", anonTenant, 1, 0, func(context.Context, *job) ([]byte, error) { panic("kaboom") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -641,12 +645,12 @@ func TestSchedulerBackpressure(t *testing.T) {
 }
 
 func TestSchedulerSubmitAfterClose(t *testing.T) {
-	s := newScheduler(1, 4, 0)
+	s := newScheduler(1, 4, 0, 0, 0)
 	s.close(context.Background())
-	if _, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) { return nil, nil }); err == nil {
+	if _, err := s.submit("run", "", anonTenant, 1, 0, func(context.Context, *job) ([]byte, error) { return nil, nil }); err == nil {
 		t.Fatal("submit after close: expected error, not a panic or success")
 	}
-	if _, err := s.completed("run", []byte("x\n")); err == nil {
+	if _, err := s.completed("run", anonTenant, []byte("x\n")); err == nil {
 		t.Fatal("completed after close: expected error")
 	}
 	s.close(context.Background()) // idempotent
@@ -674,7 +678,7 @@ func TestUploadTooLarge(t *testing.T) {
 	if _, err := pool.RegisterCSV("csv", path, -1, false); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(pool, Options{MaxUploadBytes: 16})
+	srv, err := New(pool, Options{MaxUploadBytes: 16, NoAuth: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -821,7 +825,7 @@ func TestDiskTierCrashRestartRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv1, err := New(pool, Options{Workers: 1, QueueDepth: 4, CacheDir: dir})
+	srv1, err := New(pool, Options{Workers: 1, QueueDepth: 4, CacheDir: dir, NoAuth: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -842,7 +846,7 @@ func TestDiskTierCrashRestartRoundTrip(t *testing.T) {
 	// Occupy the single worker so the next submission stays queued —
 	// genuinely in flight at crash time.
 	release := make(chan struct{})
-	if _, err := srv1.sched.submit("run", "", 0, func(context.Context, *job) ([]byte, error) {
+	if _, err := srv1.sched.submit("run", "", anonTenant, 1, 0, func(context.Context, *job) ([]byte, error) {
 		<-release
 		return []byte("x\n"), nil
 	}); err != nil {
@@ -859,7 +863,7 @@ func TestDiskTierCrashRestartRoundTrip(t *testing.T) {
 	ts1.Close()
 	close(release) // let the abandoned scheduler goroutines exit
 
-	srv2, err := New(pool, Options{CacheDir: dir})
+	srv2, err := New(pool, Options{CacheDir: dir, NoAuth: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -916,7 +920,7 @@ func TestSingleflightCoalescesConcurrentMisses(t *testing.T) {
 	// the followers arrive: every one of the N requests must take the
 	// miss path.
 	release := make(chan struct{})
-	blocker, err := srv.sched.submit("run", "", 0, func(context.Context, *job) ([]byte, error) {
+	blocker, err := srv.sched.submit("run", "", anonTenant, 1, 0, func(context.Context, *job) ([]byte, error) {
 		<-release
 		return []byte("x\n"), nil
 	})
@@ -992,7 +996,7 @@ func TestSingleflightCoalescesConcurrentMisses(t *testing.T) {
 func TestSingleflightAsyncAttachesToSameJob(t *testing.T) {
 	ts, srv, _ := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
 	release := make(chan struct{})
-	if _, err := srv.sched.submit("run", "", 0, func(context.Context, *job) ([]byte, error) {
+	if _, err := srv.sched.submit("run", "", anonTenant, 1, 0, func(context.Context, *job) ([]byte, error) {
 		<-release
 		return []byte("x\n"), nil
 	}); err != nil {
@@ -1029,7 +1033,7 @@ func TestSingleflightAsyncAttachesToSameJob(t *testing.T) {
 func TestJobCancellation(t *testing.T) {
 	ts, srv, path := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
 	release := make(chan struct{})
-	blocker, err := srv.sched.submit("run", "", 0, func(context.Context, *job) ([]byte, error) {
+	blocker, err := srv.sched.submit("run", "", anonTenant, 1, 0, func(context.Context, *job) ([]byte, error) {
 		<-release
 		return []byte("x\n"), nil
 	})
@@ -1091,7 +1095,7 @@ func TestJobCancellation(t *testing.T) {
 // injected clock: finished jobs past the TTL vanish from lookups, live
 // jobs never expire.
 func TestJobTTLEviction(t *testing.T) {
-	s := newScheduler(1, 4, time.Minute)
+	s := newScheduler(1, 4, time.Minute, 0, 0)
 	defer s.close(context.Background())
 	var (
 		mu  sync.Mutex
@@ -1108,13 +1112,13 @@ func TestJobTTLEviction(t *testing.T) {
 		mu.Unlock()
 	}
 
-	quick, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) { return []byte("q\n"), nil })
+	quick, err := s.submit("run", "", anonTenant, 1, 0, func(context.Context, *job) ([]byte, error) { return []byte("q\n"), nil })
 	if err != nil {
 		t.Fatal(err)
 	}
 	quick.wait()
 	release := make(chan struct{})
-	slow, err := s.submit("run", "", 0, func(context.Context, *job) ([]byte, error) {
+	slow, err := s.submit("run", "", anonTenant, 1, 0, func(context.Context, *job) ([]byte, error) {
 		<-release
 		return []byte("s\n"), nil
 	})

@@ -54,11 +54,12 @@ func (f *flight) coalescedCount() int64 {
 // already finished streams its last progress (if any) and the terminal
 // event immediately. Progress events are lossy for slow consumers —
 // intermediate panels may be skipped, never reordered — and the
-// terminal event always carries the final progress.
+// terminal event always carries the final progress. The stream is
+// tenant-scoped like the job document: another tenant's job id answers
+// 404 unless that tenant's own request coalesced onto the job.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.sched.get(r.PathValue("id"))
+	j, ok := s.lookupJob(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "not_found", "unknown job "+r.PathValue("id"))
 		return
 	}
 	fl, ok := w.(http.Flusher)

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// anonTenant is the tenant every request resolves to when the server
+// runs with Options.NoAuth: one shared identity, so the quota and
+// fairness machinery stays live (and testable) even without tokens.
+const anonTenant = "anonymous"
+
+// tenantEntry is one parsed token-file line: the tenant a token
+// resolves to and that tenant's fair-queueing weight.
+type tenantEntry struct {
+	tenant string
+	weight int
+}
+
+// parseTokens reads the -tokens file format: one `token tenant
+// [weight]` triple per line, whitespace-separated, `#` starting a
+// comment, blank lines ignored. weight is the tenant's share of the
+// scheduler's weighted round-robin (default 1, must be ≥ 1). Duplicate
+// tokens and conflicting weights for one tenant are errors — the file
+// describes exactly one front-door policy, so ambiguity fails loudly
+// at load time instead of resolving by line order at runtime.
+func parseTokens(r io.Reader) (map[string]tenantEntry, error) {
+	tokens := make(map[string]tenantEntry)
+	weights := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("tokens file line %d: want `token tenant [weight]`, got %d fields", line, len(fields))
+		}
+		token, tenant, weight := fields[0], fields[1], 1
+		if len(fields) == 3 {
+			w, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("tokens file line %d: weight %q: %v", line, fields[2], err)
+			}
+			if w < 1 {
+				return nil, fmt.Errorf("tokens file line %d: weight %d below 1", line, w)
+			}
+			weight = w
+		}
+		if _, dup := tokens[token]; dup {
+			return nil, fmt.Errorf("tokens file line %d: duplicate token %q", line, token)
+		}
+		if prev, ok := weights[tenant]; ok && prev != weight {
+			return nil, fmt.Errorf("tokens file line %d: tenant %q has conflicting weights %d and %d", line, tenant, prev, weight)
+		}
+		weights[tenant] = weight
+		tokens[token] = tenantEntry{tenant: tenant, weight: weight}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tokens file: %w", err)
+	}
+	return tokens, nil
+}
+
+// loadTokenFile parses the token table at path.
+func loadTokenFile(path string) (map[string]tenantEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseTokens(f)
+}
+
+// auth resolves requests to tenants. In noauth mode every request is
+// anonTenant; otherwise the token presented as `Authorization: Bearer
+// <token>` or `X-Htdp-Token: <token>` is looked up in the table loaded
+// from the -tokens file, and requests without a known token are
+// rejected before routing. reload re-reads the file (SIGHUP in
+// cmd/htdp), which is how tokens rotate without a restart.
+type auth struct {
+	noauth bool
+	path   string
+
+	mu     sync.RWMutex
+	tokens map[string]tenantEntry
+}
+
+// newAuth builds the resolver, failing fast when the token file is
+// missing or malformed: a front door that cannot authenticate anyone
+// should not start.
+func newAuth(path string, noauth bool) (*auth, error) {
+	a := &auth{noauth: noauth, path: path}
+	if noauth {
+		return a, nil
+	}
+	tokens, err := loadTokenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a.tokens = tokens
+	return a, nil
+}
+
+// token extracts the presented API token: the `Authorization: Bearer`
+// value when present, else the `X-Htdp-Token` header, else "".
+func requestToken(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if len(h) > 7 && strings.EqualFold(h[:7], "Bearer ") {
+			return strings.TrimSpace(h[7:])
+		}
+		return "" // malformed scheme: treated as missing, never matched
+	}
+	return strings.TrimSpace(r.Header.Get("X-Htdp-Token"))
+}
+
+// resolve maps a request to its tenant. ok=false means the request
+// carried no known token and must be rejected 401 (never in noauth
+// mode).
+func (a *auth) resolve(r *http.Request) (tenant string, ok bool) {
+	if a.noauth {
+		return anonTenant, true
+	}
+	tok := requestToken(r)
+	if tok == "" {
+		return "", false
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	e, ok := a.tokens[tok]
+	if !ok {
+		return "", false
+	}
+	return e.tenant, true
+}
+
+// weightOf returns a tenant's fair-queueing weight (1 when unknown —
+// anonymous jobs and revoked tenants keep a valid share).
+func (a *auth) weightOf(tenant string) int {
+	if a.noauth {
+		return 1
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, e := range a.tokens {
+		if e.tenant == tenant {
+			return e.weight
+		}
+	}
+	return 1
+}
+
+// reload re-reads the token file and swaps the table atomically,
+// returning the tenants that lost their last token — the caller
+// cancels their queued and running jobs, which is what gives quota
+// revocation teeth. A parse error leaves the previous table serving.
+func (a *auth) reload() (removed []string, err error) {
+	if a.noauth {
+		return nil, nil
+	}
+	tokens, err := loadTokenFile(a.path)
+	if err != nil {
+		return nil, err
+	}
+	next := make(map[string]bool, len(tokens))
+	for _, e := range tokens {
+		next[e.tenant] = true
+	}
+	a.mu.Lock()
+	for _, e := range a.tokens {
+		if !next[e.tenant] {
+			removed = append(removed, e.tenant)
+			next[e.tenant] = true // dedup: report each tenant once
+		}
+	}
+	a.tokens = tokens
+	a.mu.Unlock()
+	sort.Strings(removed)
+	return removed, nil
+}
+
+// tenantKey carries the resolved tenant through the request context
+// from the auth middleware to the handlers.
+type tenantKeyType struct{}
+
+var tenantKey tenantKeyType
+
+func withTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey, tenant)
+}
+
+// tenantFrom returns the tenant the middleware resolved for this
+// request (anonTenant if the request never passed the middleware —
+// direct handler tests).
+func tenantFrom(ctx context.Context) string {
+	if t, ok := ctx.Value(tenantKey).(string); ok {
+		return t
+	}
+	return anonTenant
+}
