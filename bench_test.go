@@ -427,3 +427,38 @@ func BenchmarkSourceCSVChunk(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSourceCSVRowAt measures shuffled random row access on the
+// CSV backend at two file sizes. The row-block cache amortizes seeks
+// and parses over 256-row blocks, so per-row cost should be roughly
+// flat in n — not the O(n) a naive scan-per-row would show.
+func BenchmarkSourceCSVRowAt(b *testing.B) {
+	for _, n := range []int{5000, 20000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			opt := benchStreamOpt
+			opt.N = n
+			path := filepath.Join(b.TempDir(), "rowat.csv")
+			f, err := os.Create(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := htdp.WriteCSV(f, htdp.LinearSource(13, opt).Materialize()); err != nil {
+				b.Fatal(err)
+			}
+			f.Close()
+			src, err := htdp.OpenCSV(path, "bench", -1, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer src.Close()
+			perm := randx.New(17).Perm(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := src.RowAt(perm[i%n], nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

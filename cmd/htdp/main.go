@@ -80,11 +80,15 @@ func run(args []string, stdout io.Writer) error {
 		benchrounds = fs.Int("benchrounds", 3, "timing rounds per benchmark; the fastest round is kept")
 
 		stream   = fs.String("stream", "", "stream this numeric CSV out of core (peak memory: one chunk, not n×d); runs -algo on it, feeds -run streaming, or joins the -serve pool")
-		algo     = fs.String("algo", "fw", "algorithm for -stream: fw, lasso, iht, or sparseopt")
+		algo     = fs.String("algo", "fw", "algorithm for -stream: fw, lasso, iht, sparseopt, or dpsgd")
 		eps      = fs.Float64("eps", 1, "privacy budget ε for -stream (0 is treated as 1)")
 		delta    = fs.Float64("delta", 0, "privacy δ for -stream (0 → n^-1.1)")
 		iters    = fs.Int("T", 0, "iteration count for -stream (0 → each algorithm's theory default)")
 		sstar    = fs.Int("sstar", 10, "target sparsity s* for -algo iht/sparseopt")
+		batch    = fs.Int("batch", 0, "minibatch size for -algo dpsgd (0 → n/50)")
+		clip     = fs.Float64("clip", 0, "per-sample ℓ2 clip bound for -algo dpsgd (0 → 1)")
+		lr       = fs.Float64("lr", 0, "step size for -algo dpsgd (0 → 0.1)")
+		acct     = fs.String("accountant", "", "noise accountant for -algo dpsgd: compose (default) or rdp")
 		labelCol = fs.Int("labelcol", -1, "label column of the -stream CSV (negative counts from the end)")
 		header   = fs.Bool("header", false, "the -stream CSV has a header row")
 
@@ -185,7 +189,8 @@ func run(args []string, stdout io.Writer) error {
 	if *stream != "" && *runID == "" && !*list {
 		return runStream(w, streamOpts{
 			path: *stream, algo: *algo, eps: *eps, delta: *delta, T: *iters,
-			sstar: *sstar, labelCol: *labelCol, header: *header,
+			sstar: *sstar, batch: *batch, clip: *clip, lr: *lr, accountant: *acct,
+			labelCol: *labelCol, header: *header,
 			seed: *seed, parallel: *par,
 		})
 	}
@@ -301,12 +306,14 @@ func runBenchJSON(w io.Writer, outPath, baselinePath, filter string, tol float64
 
 // streamOpts bundles the -stream mode's flags.
 type streamOpts struct {
-	path, algo         string
-	eps, delta         float64
-	T, sstar, labelCol int
-	header             bool
-	seed               int64
-	parallel           int
+	path, algo                string
+	eps, delta                float64
+	T, sstar, batch, labelCol int
+	clip, lr                  float64
+	accountant                string
+	header                    bool
+	seed                      int64
+	parallel                  int
 }
 
 // runStream opens the CSV as an out-of-core source and runs one
@@ -314,7 +321,8 @@ type streamOpts struct {
 // (serve.ExecuteRun), so batch and served results are bit-identical by
 // construction. Peak residency is one chunk — n/T rows for the
 // disjoint-chunk algorithms (fw, iht, sparseopt), StreamRows for the
-// per-iteration full-data passes (lasso and the risk evaluation) —
+// per-iteration full-data passes (lasso and the risk evaluation), one
+// minibatch plus the row-block cache for dpsgd's random row access —
 // plus the 8-bytes-per-row offset index, never the n×d matrix.
 // Ctrl-C cancels within one chunk read.
 func runStream(w io.Writer, o streamOpts) error {
@@ -334,6 +342,7 @@ func runStream(w io.Writer, o streamOpts) error {
 	res, err := serve.ExecuteRun(ctx, src, serve.RunRequest{
 		Dataset: filepath.Base(o.path), Algo: o.algo,
 		Eps: o.eps, Delta: o.delta, T: o.T, SStar: o.sstar,
+		Batch: o.batch, Clip: o.clip, LR: o.lr, Accountant: o.accountant,
 		Seed: o.seed, Parallelism: o.parallel,
 	})
 	if err != nil {

@@ -110,7 +110,7 @@ func writeStreamCSV(t *testing.T, n, d int) string {
 
 func TestStreamMode(t *testing.T) {
 	path := writeStreamCSV(t, 400, 8)
-	for _, algo := range []string{"fw", "lasso", "iht", "sparseopt"} {
+	for _, algo := range []string{"fw", "lasso", "iht", "sparseopt", "dpsgd"} {
 		var buf bytes.Buffer
 		if err := run([]string{"-stream", path, "-algo", algo, "-eps", "2", "-sstar", "3", "-T", "3"}, &buf); err != nil {
 			t.Fatalf("%s: %v", algo, err)
@@ -119,6 +119,16 @@ func TestStreamMode(t *testing.T) {
 		if !strings.Contains(out, "n=400 d=8") || !strings.Contains(out, "risk(ŵ)=") {
 			t.Fatalf("%s: unexpected output:\n%s", algo, out)
 		}
+	}
+	// The dpsgd knobs reach the engine: an explicit batch and the rdp
+	// accountant run end to end from the CLI.
+	var buf bytes.Buffer
+	if err := run([]string{"-stream", path, "-algo", "dpsgd", "-T", "3",
+		"-batch", "16", "-clip", "2", "-lr", "0.05", "-accountant", "rdp"}, &buf); err != nil {
+		t.Fatalf("dpsgd knobs: %v", err)
+	}
+	if !strings.Contains(buf.String(), "algo=dpsgd") {
+		t.Fatalf("dpsgd knobs: unexpected output:\n%s", buf.String())
 	}
 }
 
@@ -130,6 +140,12 @@ func TestStreamModeErrors(t *testing.T) {
 	path := writeStreamCSV(t, 50, 3)
 	if err := run([]string{"-stream", path, "-algo", "bogus"}, &buf); err == nil {
 		t.Fatal("unknown algo: expected error")
+	}
+	if err := run([]string{"-stream", path, "-algo", "fw", "-batch", "16"}, &buf); err == nil {
+		t.Fatal("dpsgd knob on fw: expected error")
+	}
+	if err := run([]string{"-stream", path, "-algo", "dpsgd", "-accountant", "zcdp"}, &buf); err == nil {
+		t.Fatal("unknown accountant: expected error")
 	}
 }
 

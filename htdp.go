@@ -99,11 +99,12 @@ type (
 	RealSpec    = data.RealSpec
 
 	// Source abstracts where the rows live: every algorithm consumes T
-	// disjoint contiguous chunks, and a Source serves exactly that —
-	// from memory (MemSource), from disk (CSVSource), or generated on
-	// demand (GenSource). All backends yield bit-identical chunks for
-	// the same rows, so streamed and in-memory runs agree bit for bit
-	// (see DESIGN.md, "Source backends").
+	// disjoint contiguous chunks — or, for minibatch DP-SGD, random
+	// rows via RowAt — and a Source serves exactly that: from memory
+	// (MemSource), from disk (CSVSource), or generated on demand
+	// (GenSource). All backends yield bit-identical chunks and rows for
+	// the same indices, so streamed and in-memory runs agree bit for
+	// bit (see DESIGN.md, "Source backends").
 	Source    = data.Source
 	MemSource = data.MemSource
 	CSVSource = data.CSVSource
@@ -362,6 +363,24 @@ type (
 // DPSGD runs minibatch DP-SGD with subsampling amplification.
 func DPSGD(ds *Dataset, opt DPSGDOptions) ([]float64, error) {
 	return core.DPSGD(ds, opt)
+}
+
+// The DPSGD accountants: AccountantCompose calibrates noise by the
+// classical amplification lemma plus advanced composition;
+// AccountantRDP by subsampled-Gaussian RDP (tighter σ at the same
+// budget). Select via DPSGDOptions.Accountant; empty means compose.
+const (
+	AccountantCompose = core.AccountantCompose
+	AccountantRDP     = core.AccountantRDP
+)
+
+// DPSGDSource runs minibatch DP-SGD over a streaming source, drawing
+// each batch by uniform random row access (Source.RowAt). Output is
+// bit-identical to DPSGD over the materialized dataset — the batch
+// draw order is a pure function of Rng, independent of backend and
+// Parallelism.
+func DPSGDSource(src Source, opt DPSGDOptions) ([]float64, error) {
+	return core.DPSGDSource(src, opt)
 }
 
 // NonprivateFW runs exact Frank–Wolfe (the ε→∞ reference).

@@ -276,10 +276,23 @@ func DPGDSource(src data.Source, opt DPGDOptions) ([]float64, error) {
 	return w, nil
 }
 
+// Accountant names for DPSGDOptions.Accountant.
+const (
+	// AccountantCompose calibrates DPSGD noise by the classical
+	// subsampling amplification lemma composed with advanced
+	// composition — the default.
+	AccountantCompose = "compose"
+	// AccountantRDP calibrates DPSGD noise by subsampled-Gaussian RDP
+	// accounting (dp.SampledGaussianRDP): never more noise than
+	// AccountantCompose, typically severalfold less at small sampling
+	// rates.
+	AccountantRDP = "rdp"
+)
+
 // DPSGDOptions configures true minibatch DP-SGD in the style of Abadi
 // et al. [1]: each step samples a batch uniformly, clips per-sample
-// gradients in ℓ2, and adds Gaussian noise. The per-step budget comes
-// from advanced composition applied to the subsampling-amplified
+// gradients in ℓ2, and adds Gaussian noise. The noise level comes from
+// the selected Accountant applied to the subsampling-amplified
 // per-step guarantee, so small batches buy smaller noise.
 type DPSGDOptions struct {
 	Loss    loss.Loss
@@ -290,6 +303,14 @@ type DPSGDOptions struct {
 	Batch   int     // batch size; 0 → max(1, n/50)
 	Clip    float64 // per-sample ℓ2 clip; 0 → 1
 	LR      float64 // 0 → 0.1
+	// Accountant selects the noise calibration: AccountantCompose (the
+	// default, also chosen by "") inverts the amplification lemma
+	// against an advanced-composition per-step budget; AccountantRDP
+	// runs subsampled-Gaussian RDP accounting. Anything else is an
+	// error. The accountant only changes σ — the subsampling and noise
+	// draw order is identical, so runs with the same accountant are
+	// bit-identical across backends and worker counts.
+	Accountant string
 	// Parallelism is the worker count for the clipped batch-gradient
 	// sum (0 → GOMAXPROCS, 1 → sequential). Batch indices are drawn
 	// sequentially before the fan-out, so results are bit-identical at
@@ -298,27 +319,20 @@ type DPSGDOptions struct {
 	Rng         *randx.RNG
 }
 
-// DPSGD runs minibatch noisy SGD. Privacy: one step on a uniform batch
-// of size b is (ε₀, δ₀)-DP with ε₀ amplified by q = b/n; we choose the
-// per-step budget so that T-fold advanced composition of the amplified
-// guarantees meets (ε, δ). The search over the per-step budget is a
-// simple doubling/bisection on the amplification equation.
-//
-// DPSGD is the one baseline without a Source variant: uniform
-// subsampling needs random row access, which the chunked Source
-// protocol deliberately does not offer (see DESIGN.md, "Source
-// backends"). Materialize the source first if needed.
-func DPSGD(ds *data.Dataset, opt DPSGDOptions) ([]float64, error) {
+// dpsgdResolve validates opt, applies the documented defaults in
+// place, and returns the calibrated per-coordinate noise level σ for a
+// dataset of n rows. Shared by DPSGD and DPSGDSource so both variants
+// resolve — bit-identically — to the same σ.
+func dpsgdResolve(opt *DPSGDOptions, n int) (float64, error) {
 	if opt.Loss == nil || opt.Rng == nil {
-		return nil, errors.New("core: DPSGDOptions needs Loss and Rng")
+		return 0, errors.New("core: DPSGDOptions needs Loss and Rng")
 	}
 	if err := (dp.Params{Eps: opt.Eps, Delta: opt.Delta}).Validate(); err != nil {
-		return nil, err
+		return 0, err
 	}
 	if opt.Delta == 0 {
-		return nil, errors.New("core: DPSGD needs δ > 0")
+		return 0, errors.New("core: DPSGD needs δ > 0")
 	}
-	n, d := ds.N(), ds.D()
 	if opt.T == 0 {
 		opt.T = 200
 	}
@@ -338,33 +352,53 @@ func DPSGD(ds *data.Dataset, opt DPSGDOptions) ([]float64, error) {
 		opt.LR = 0.1
 	}
 	q := float64(opt.Batch) / float64(n)
-	// Per-step amplified target from advanced composition.
-	perStep, err := dp.AdvancedComposition(dp.Params{Eps: opt.Eps, Delta: opt.Delta}, opt.T)
-	if err != nil {
-		return nil, fmt.Errorf("core: DPSGD composition: %w", err)
-	}
-	// Invert amplification: find the largest ε₀ with
-	// log(1+q(e^{ε₀}−1)) ≤ perStep.Eps and q·δ₀ ≤ perStep.Delta.
-	eps0 := math.Log1p((math.Exp(perStep.Eps) - 1) / q)
-	delta0 := perStep.Delta / q
-	if delta0 >= 1 {
-		delta0 = perStep.Delta // degenerate q; stay conservative
-	}
 	// Gaussian mechanism on the batch-mean gradient: replacing one
 	// sample moves it by ≤ 2C/b.
-	sigma := dp.GaussianSigma(2*opt.Clip/float64(opt.Batch), dp.Params{Eps: eps0, Delta: delta0})
+	sens := 2 * opt.Clip / float64(opt.Batch)
+	switch opt.Accountant {
+	case "", AccountantCompose:
+		// Per-step amplified target from advanced composition.
+		perStep, err := dp.AdvancedComposition(dp.Params{Eps: opt.Eps, Delta: opt.Delta}, opt.T)
+		if err != nil {
+			return 0, fmt.Errorf("core: DPSGD composition: %w", err)
+		}
+		// Invert amplification: find the largest ε₀ with
+		// log(1+q(e^{ε₀}−1)) ≤ perStep.Eps and q·δ₀ ≤ perStep.Delta.
+		eps0 := math.Log1p((math.Exp(perStep.Eps) - 1) / q)
+		delta0 := perStep.Delta / q
+		if delta0 >= 1 {
+			delta0 = perStep.Delta // degenerate q; stay conservative
+		}
+		return dp.GaussianSigma(sens, dp.Params{Eps: eps0, Delta: delta0}), nil
+	case AccountantRDP:
+		return dp.SubsampledGaussianSigma(sens, q, dp.Params{Eps: opt.Eps, Delta: opt.Delta}, opt.T), nil
+	default:
+		return 0, fmt.Errorf("core: unknown DPSGD accountant %q (have compose, rdp)", opt.Accountant)
+	}
+}
 
+// dpsgdLoop is the step loop shared by DPSGD and DPSGDSource. The
+// subsampling-order determinism story lives here: every step draws its
+// Batch indices sequentially from the single Rng stream, then gradStep
+// fills grad with the clipped batch-gradient sum, then the d noise
+// coordinates are drawn from the same stream. The Rng consumption per
+// step — Batch Intn draws followed by d Normal draws — is therefore a
+// pure function of the options, never of the backend, Parallelism, or
+// scheduling, which is what makes runs bit-identical everywhere.
+func dpsgdLoop(opt DPSGDOptions, n, d int, sigma float64,
+	gradStep func(grad, w []float64, batch []int) error) ([]float64, error) {
 	w := make([]float64, d)
 	grad := make([]float64, d)
 	batch := make([]int, opt.Batch)
-	gsum := newGradSum(opt.Loss, func(buf []float64) { vecmath.ClipL2(buf, opt.Clip) })
 	for t := 1; t <= opt.T; t++ {
 		// Draw the batch on the single sequential stream, then fan the
 		// clipped-gradient sum out over batch shards.
 		for b := range batch {
 			batch[b] = opt.Rng.Intn(n)
 		}
-		gsum.run(grad, w, ds, batch, opt.Parallelism)
+		if err := gradStep(grad, w, batch); err != nil {
+			return nil, fmt.Errorf("core: DPSGD step %d: %w", t, err)
+		}
 		vecmath.Scale(grad, 1/float64(opt.Batch))
 		for j := range grad {
 			grad[j] += sigma * opt.Rng.Normal()
@@ -375,6 +409,56 @@ func DPSGD(ds *data.Dataset, opt DPSGDOptions) ([]float64, error) {
 		}
 	}
 	return w, nil
+}
+
+// DPSGD runs minibatch noisy SGD on an in-memory dataset. Privacy: one
+// step on a uniform batch of size b is (ε₀, δ₀)-DP with ε₀ amplified
+// by q = b/n; the Accountant chooses the noise level so that T steps
+// compose to (ε, δ). Bit-identical to DPSGDSource over a MemSource of
+// the same dataset (the property TestDPSGDDeterminism pins).
+func DPSGD(ds *data.Dataset, opt DPSGDOptions) ([]float64, error) {
+	sigma, err := dpsgdResolve(&opt, ds.N())
+	if err != nil {
+		return nil, err
+	}
+	gsum := newGradSum(opt.Loss, func(buf []float64) { vecmath.ClipL2(buf, opt.Clip) })
+	return dpsgdLoop(opt, ds.N(), ds.D(), sigma, func(grad, w []float64, batch []int) error {
+		gsum.run(grad, w, ds, batch, opt.Parallelism)
+		return nil
+	})
+}
+
+// DPSGDSource runs minibatch noisy SGD over any data source: each
+// step's uniform batch is gathered row by row through Source.RowAt into
+// a reusable scratch dataset, then reduced by the same sharded
+// clipped-gradient sum as DPSGD — identical row bytes in identical
+// batch order, so partial sums, noise draws, and the final weights are
+// bit-identical to DPSGD on the materialized data, on every backend
+// and at every Parallelism. Peak residency beyond the source's own
+// cache is one batch (Batch·d floats).
+func DPSGDSource(src data.Source, opt DPSGDOptions) ([]float64, error) {
+	n, d := src.N(), src.D()
+	sigma, err := dpsgdResolve(&opt, n)
+	if err != nil {
+		return nil, err
+	}
+	gx := &vecmath.Mat{Rows: opt.Batch, Cols: d, Data: make([]float64, opt.Batch*d)}
+	gy := make([]float64, opt.Batch)
+	gathered := &data.Dataset{X: gx, Y: gy}
+	rowBuf := make([]float64, d)
+	gsum := newGradSum(opt.Loss, func(buf []float64) { vecmath.ClipL2(buf, opt.Clip) })
+	return dpsgdLoop(opt, n, d, sigma, func(grad, w []float64, batch []int) error {
+		for b, i := range batch {
+			x, y, err := src.RowAt(i, rowBuf)
+			if err != nil {
+				return err
+			}
+			copy(gx.Row(b), x)
+			gy[b] = y
+		}
+		gsum.run(grad, w, gathered, nil, opt.Parallelism)
+		return nil
+	})
 }
 
 // RobustGaussianGDOptions configures the low-dimensional baseline in the

@@ -45,6 +45,33 @@ type CSVSource struct {
 	// the Source contract already forbids using a chunk after the next
 	// Chunk call.
 	bufX, bufY []float64
+
+	// RowAt's seek-locality cache: parsed rows grouped into fixed-size
+	// blocks, a handful of blocks resident at once (see rowBlockRows /
+	// rowCacheBlocks). One random access parses one block — never the
+	// file — and nearby or repeated indices hit the cache outright, so
+	// a shuffled pass costs O(n/blockSize) seeks and O(n) row parses
+	// total, not O(n) parses per access.
+	rowBlocks map[int]*rowBlock
+	rowTick   int64
+}
+
+// rowBlockRows is the granularity of the RowAt row cache: a cache miss
+// seeks once and parses this many consecutive rows. Large enough to
+// amortize the csv.Reader setup per seek, small enough that a resident
+// block stays trivial (256 rows × 400 features ≈ 0.8 MB).
+const rowBlockRows = 256
+
+// rowCacheBlocks bounds the blocks resident at once; the least
+// recently used block is evicted (and its storage recycled) beyond it.
+const rowCacheBlocks = 8
+
+// rowBlock is one cached run of parsed rows [lo, hi).
+type rowBlock struct {
+	lo, hi int
+	x      []float64 // (hi-lo)×d features, row-major
+	y      []float64 // hi-lo labels
+	used   int64     // LRU tick of the last access
 }
 
 // OpenCSV opens a numeric CSV file as a streaming Source. labelCol
@@ -184,9 +211,95 @@ func (s *CSVSource) Chunk(t, T int) (*Dataset, error) {
 	return ck, nil
 }
 
-// Close closes the underlying file and drops the cached chunk.
+// RowAt returns row i through the block cache: a miss seeks to the
+// block holding i and parses its rowBlockRows rows once; hits — the
+// common case under seek-local or repeated access — return a view into
+// the resident block. The view is valid until the next RowAt call (the
+// block may be evicted); buf is unused. Parse failures surface with
+// the absolute row number, exactly as Chunk reports them.
+func (s *CSVSource) RowAt(i int, _ []float64) ([]float64, float64, error) {
+	if err := checkRow(i, s.n); err != nil {
+		return nil, 0, err
+	}
+	b := i / rowBlockRows
+	blk := s.rowBlocks[b]
+	if blk == nil {
+		var err error
+		if blk, err = s.loadRowBlock(b); err != nil {
+			return nil, 0, err
+		}
+	}
+	s.rowTick++
+	blk.used = s.rowTick
+	r := i - blk.lo
+	return blk.x[r*s.d : (r+1)*s.d : (r+1)*s.d], blk.y[r], nil
+}
+
+// loadRowBlock seeks to block b's first row, parses the block, and
+// installs it in the cache — evicting (and recycling the storage of)
+// the least recently used block when the cache is full.
+func (s *CSVSource) loadRowBlock(b int) (*rowBlock, error) {
+	lo := b * rowBlockRows
+	hi := lo + rowBlockRows
+	if hi > s.n {
+		hi = s.n
+	}
+	blk := s.evictRowBlock()
+	if blk == nil {
+		blk = &rowBlock{}
+	}
+	m := hi - lo
+	if cap(blk.x) < m*s.d {
+		blk.x = make([]float64, m*s.d)
+	}
+	if cap(blk.y) < m {
+		blk.y = make([]float64, m)
+	}
+	blk.lo, blk.hi = lo, hi
+	blk.x, blk.y = blk.x[:m*s.d], blk.y[:m]
+	if _, err := s.f.Seek(s.offsets[lo], io.SeekStart); err != nil {
+		return nil, fmt.Errorf("data: seeking CSV row %d: %w", lo, err)
+	}
+	cr := csv.NewReader(io.LimitReader(s.f, s.offsets[hi]-s.offsets[lo]))
+	cr.ReuseRecord = true
+	for r := 0; r < m; r++ {
+		rec, err := cr.Read()
+		if err != nil {
+			return nil, fmt.Errorf("data: reading CSV row %d: %w", lo+r, err)
+		}
+		if err := parseNumericRow(rec, s.labelCol, blk.x[r*s.d:(r+1)*s.d], &blk.y[r]); err != nil {
+			return nil, fmt.Errorf("data: CSV row %d %w", lo+r, err)
+		}
+	}
+	if s.rowBlocks == nil {
+		s.rowBlocks = make(map[int]*rowBlock, rowCacheBlocks)
+	}
+	s.rowBlocks[b] = blk
+	return blk, nil
+}
+
+// evictRowBlock removes and returns the least recently used block once
+// the cache is at capacity, nil while there is still room.
+func (s *CSVSource) evictRowBlock() *rowBlock {
+	if len(s.rowBlocks) < rowCacheBlocks {
+		return nil
+	}
+	oldKey, oldTick := -1, int64(0)
+	for k, blk := range s.rowBlocks {
+		if oldKey == -1 || blk.used < oldTick {
+			oldKey, oldTick = k, blk.used
+		}
+	}
+	blk := s.rowBlocks[oldKey]
+	delete(s.rowBlocks, oldKey)
+	return blk
+}
+
+// Close closes the underlying file and drops the cached chunk and row
+// blocks.
 func (s *CSVSource) Close() error {
 	s.cached = nil
+	s.rowBlocks = nil
 	return s.f.Close()
 }
 

@@ -14,7 +14,8 @@ import (
 // runs past its context — without a ctx parameter on any algorithm.
 //
 // The wrapper is bit-transparent: while ctx is live it forwards N, D,
-// Chunk, and Close unchanged (same *Dataset pointers, same errors), so
+// Chunk, RowAt, and Close unchanged (same *Dataset pointers, same
+// row views, same errors), so
 // wrapped and unwrapped runs are bit-identical by construction.
 // Cancellation only ever discards work, never reorders it. A nil ctx
 // returns src unwrapped.
@@ -43,6 +44,17 @@ func (c *ctxSource) Chunk(t, T int) (*Dataset, error) {
 		return nil, fmt.Errorf("data: chunk %d/%d: run cancelled: %w", t, T, err)
 	}
 	return c.src.Chunk(t, T)
+}
+
+// RowAt forwards to the wrapped source once the context is confirmed
+// live — the same per-read cancellation seam as Chunk, at row
+// granularity, so index-gathering consumers (DPSGD's batch draws)
+// observe a cancel within one row read.
+func (c *ctxSource) RowAt(i int, buf []float64) ([]float64, float64, error) {
+	if err := context.Cause(c.ctx); err != nil {
+		return nil, 0, fmt.Errorf("data: row %d: run cancelled: %w", i, err)
+	}
+	return c.src.RowAt(i, buf)
 }
 
 func (c *ctxSource) Close() error { return c.src.Close() }

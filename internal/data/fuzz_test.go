@@ -1,0 +1,84 @@
+package data
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzCSVRowAt fuzzes the CSV path that untrusted files take into
+// random row access: the shape-validating offset-index scan (OpenCSV)
+// followed by a RowAt at an arbitrary index. Invariants:
+//
+//   - never a panic, whatever the bytes (ragged widths, quotes, huge
+//     fields, bad numerics) or the index (negative, past n, overflow);
+//   - out-of-range indices are an error on every file that opens;
+//   - an accepted row has exactly D() features, and repeated access
+//     returns bit-identical values (the block cache serves the same
+//     bytes it parsed);
+//   - when the whole file parses, RowAt agrees with the Chunk path.
+//
+// Comparisons are on the float bit patterns, so NaN fields (ParseFloat
+// accepts "nan") are pinned too. Seed corpus: testdata/fuzz/FuzzCSVRowAt.
+func FuzzCSVRowAt(f *testing.F) {
+	f.Add([]byte("1,2\n3,4\n"), 0)
+	f.Add([]byte("1,2,3\n4,5,6\n7,8,9\n"), 2)
+	f.Add([]byte("1,2\n3\n"), 0)
+	f.Add([]byte("a,b\n"), 0)
+	f.Add([]byte(""), 0)
+	f.Add([]byte("1,2\n"), -1)
+	f.Add([]byte("1,2\n"), 5)
+	f.Add([]byte("1e309,2\n0.5,nan\n"), 1)
+	f.Add([]byte("\"1\",2\n3,\"4\"\n"), 1)
+	f.Fuzz(func(t *testing.T, raw []byte, i int) {
+		path := filepath.Join(t.TempDir(), "fuzz.csv")
+		if err := os.WriteFile(path, raw, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		src, err := OpenCSV(path, "fuzz", -1, false)
+		if err != nil {
+			return // rejected at the index/shape gate
+		}
+		defer src.Close()
+		x, y, err := src.RowAt(i, nil)
+		if err != nil {
+			return // out of range, or the row's block fails to parse
+		}
+		if i < 0 || i >= src.N() {
+			t.Fatalf("out-of-range index %d accepted (n=%d)", i, src.N())
+		}
+		if len(x) != src.D() {
+			t.Fatalf("row width %d, want D()=%d", len(x), src.D())
+		}
+		sameBits := func(a, b float64) bool {
+			return math.Float64bits(a) == math.Float64bits(b)
+		}
+		xCopy := append([]float64(nil), x...)
+		again, yAgain, err := src.RowAt(i, nil)
+		if err != nil {
+			t.Fatalf("repeated RowAt(%d) failed: %v", i, err)
+		}
+		for j := range xCopy {
+			if !sameBits(again[j], xCopy[j]) {
+				t.Fatalf("repeated RowAt(%d) col %d: %v then %v", i, j, xCopy[j], again[j])
+			}
+		}
+		if !sameBits(yAgain, y) {
+			t.Fatalf("repeated RowAt(%d) label: %v then %v", i, y, yAgain)
+		}
+		// When the whole file parses, the chunk path must serve the same
+		// row (xCopy: Chunk may recycle buffers, never the cached block).
+		if ck, cerr := src.Chunk(0, 1); cerr == nil {
+			row := ck.X.Row(i)
+			for j := range xCopy {
+				if !sameBits(row[j], xCopy[j]) {
+					t.Fatalf("RowAt(%d) col %d = %v, Chunk row has %v", i, j, xCopy[j], row[j])
+				}
+			}
+			if !sameBits(ck.Y[i], y) {
+				t.Fatalf("RowAt(%d) label %v, Chunk has %v", i, y, ck.Y[i])
+			}
+		}
+	})
+}

@@ -24,6 +24,14 @@ import (
 // immutable state (offset index, matrix, generator spec), which is how
 // the serving layer answers concurrent requests from one registered
 // dataset.
+//
+// RowAt is the random-access face of the same data: uniform minibatch
+// subsampling (DPSGD) draws rows by index, which the chunk protocol
+// cannot serve. Every backend answers RowAt(i) with bytes identical to
+// row i of any chunk covering it, so an algorithm that gathers a batch
+// by index sees the same floats on every backend — the property the
+// cross-backend RowAt equivalence suite and the DPSGD determinism
+// golden pin (see DESIGN.md, "Random row access").
 type Source interface {
 	// N returns the total number of samples.
 	N() int
@@ -35,6 +43,16 @@ type Source interface {
 	// must not mutate it and must not use it after the next Chunk call
 	// unless the backend documents otherwise.
 	Chunk(t, T int) (*Dataset, error)
+	// RowAt returns row i of the source: x its feature vector (length
+	// D()), y its label — bit-identical to row i of any chunk covering
+	// it. buf, when cap(buf) ≥ D(), may back the returned x; callers
+	// that loop RowAt should pass one reusable buffer so regenerating
+	// backends allocate nothing per row. x may instead alias
+	// backend-owned storage (a MemSource view, a CSV row-cache block)
+	// and is valid only until the next RowAt or Chunk call on the same
+	// source; callers must never mutate it. An out-of-range i is an
+	// error, never a panic.
+	RowAt(i int, buf []float64) (x []float64, y float64, err error)
 	// Close releases any resources (file handles) held by the source.
 	Close() error
 }
@@ -67,6 +85,14 @@ func MaxChunkRows(n, T int) int {
 // rows — the same partition as Dataset.Split.
 func ChunkBounds(t, T, n int) (lo, hi int) {
 	return t * n / T, (t + 1) * n / T
+}
+
+// checkRow validates a RowAt(i) request against n rows.
+func checkRow(i, n int) error {
+	if i < 0 || i >= n {
+		return fmt.Errorf("data: row index %d outside [0,%d)", i, n)
+	}
+	return nil
 }
 
 // checkChunk validates a Chunk(t, T) request against n rows.
@@ -166,6 +192,16 @@ func (s *MemSource) Chunk(t, T int) (*Dataset, error) {
 	return &s.view, nil
 }
 
+// RowAt returns row i as a zero-copy view into the wrapped dataset —
+// stable for the source's lifetime, unlike the general contract's
+// next-call bound. buf is unused.
+func (s *MemSource) RowAt(i int, _ []float64) ([]float64, float64, error) {
+	if err := checkRow(i, s.ds.N()); err != nil {
+		return nil, 0, err
+	}
+	return s.ds.X.Row(i), s.ds.Y[i], nil
+}
+
 // Close is a no-op; the wrapped dataset stays usable.
 func (s *MemSource) Close() error { return nil }
 
@@ -220,6 +256,21 @@ func (g *GenSource) Chunk(t, T int) (*Dataset, error) {
 		y[i-lo] = g.gen(randx.New(rowSeed(g.seed, i)), i, x.Row(i-lo))
 	}
 	return &Dataset{Label: g.label, X: x, Y: y, WStar: g.wstar}, nil
+}
+
+// RowAt regenerates row i from its private (seed, i) stream into buf
+// (allocating only when cap(buf) < D()) — random access is as cheap as
+// chunked access because every row already owns its stream.
+func (g *GenSource) RowAt(i int, buf []float64) ([]float64, float64, error) {
+	if err := checkRow(i, g.n); err != nil {
+		return nil, 0, err
+	}
+	if cap(buf) < g.d {
+		buf = make([]float64, g.d)
+	}
+	x := buf[:g.d]
+	y := g.gen(randx.New(rowSeed(g.seed, i)), i, x)
+	return x, y, nil
 }
 
 // Close is a no-op.
@@ -318,6 +369,11 @@ type shrinkSource struct {
 	bufX, bufY []float64
 	out        Dataset
 	outX       vecmath.Mat
+
+	// rowBuf backs RowAt's shrunken row, recycled across calls (the
+	// wrapped source's row may be an immutable view, so shrinking in
+	// place is never an option).
+	rowBuf []float64
 }
 
 // ShrinkSource wraps src so every chunk is entry-wise truncated at k:
@@ -371,6 +427,34 @@ func (s *shrinkSource) Chunk(t, T int) (*Dataset, error) {
 	s.outX = vecmath.Mat{Rows: m, Cols: d, Data: xd}
 	s.out = Dataset{Label: ck.Label, X: &s.outX, Y: yd, WStar: ck.WStar}
 	return &s.out, nil
+}
+
+// RowAt forwards to the wrapped source and shrinks the row into the
+// source's recycled row buffer — entry-wise, so a shrunken RowAt(i)
+// equals row i of a shrunken chunk bit for bit.
+func (s *shrinkSource) RowAt(i int, buf []float64) ([]float64, float64, error) {
+	x, y, err := s.src.RowAt(i, buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cap(s.rowBuf) < len(x) {
+		s.rowBuf = make([]float64, len(x))
+	}
+	out := s.rowBuf[:len(x)]
+	for j, v := range x {
+		if v > s.k {
+			v = s.k
+		} else if v < -s.k {
+			v = -s.k
+		}
+		out[j] = v
+	}
+	if y > s.k {
+		y = s.k
+	} else if y < -s.k {
+		y = -s.k
+	}
+	return out, y, nil
 }
 
 func (s *shrinkSource) Close() error { return s.src.Close() }

@@ -108,6 +108,76 @@ func TestAmplifyBySubsampling(t *testing.T) {
 	}
 }
 
+func TestSampledGaussianRDP(t *testing.T) {
+	// q = 1 reduces to the plain Gaussian curve α/(2m²) at every
+	// integer order.
+	m := 2.0
+	full := SampledGaussianRDP(m, 1)
+	for i, a := range full.Orders {
+		if a != math.Trunc(a) || a < 2 {
+			t.Fatalf("non-integer order %v in curve", a)
+		}
+		want := a / (2 * m * m)
+		if math.Abs(full.Eps[i]-want) > 1e-9 {
+			t.Fatalf("q=1: ε(%v) = %v, want %v", a, full.Eps[i], want)
+		}
+	}
+	// Hand-evaluated α = 2 term: ε(2) = log((1−q)² + 2q(1−q) + q²e^{1/m²}).
+	q := 0.1
+	sub := SampledGaussianRDP(m, q)
+	want2 := math.Log((1-q)*(1-q) + 2*q*(1-q) + q*q*math.Exp(1/(m*m)))
+	if math.Abs(sub.Eps[0]-want2) > 1e-12 {
+		t.Fatalf("ε(2) = %v, want %v", sub.Eps[0], want2)
+	}
+	// Subsampling strictly helps at every order, and more for smaller q.
+	tiny := SampledGaussianRDP(m, 0.01)
+	for i := range sub.Eps {
+		if sub.Eps[i] >= full.Eps[i] {
+			t.Fatalf("order %v: q=0.1 ε=%v not below q=1 ε=%v",
+				sub.Orders[i], sub.Eps[i], full.Eps[i])
+		}
+		if tiny.Eps[i] >= sub.Eps[i] {
+			t.Fatalf("order %v: q=0.01 not below q=0.1", sub.Orders[i])
+		}
+		if tiny.Eps[i] <= 0 {
+			t.Fatalf("order %v: ε=%v not positive", sub.Orders[i], tiny.Eps[i])
+		}
+	}
+}
+
+func TestSubsampledGaussianSigmaBeatsAmplifiedComposition(t *testing.T) {
+	total := Params{Eps: 1, Delta: 1e-5}
+	q := 0.02
+	for _, T := range []int{50, 500} {
+		perStep, err := AdvancedComposition(total, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps0 := math.Log1p((math.Exp(perStep.Eps) - 1) / q)
+		sigmaAmp := GaussianSigma(1, Params{Eps: eps0, Delta: perStep.Delta / q})
+		sigmaRDP := SubsampledGaussianSigma(1, q, total, T)
+		if sigmaRDP > sigmaAmp*1.001 {
+			t.Fatalf("T=%d: σ_RDP=%v worse than amplified-AC σ=%v", T, sigmaRDP, sigmaAmp)
+		}
+		// The calibrated σ actually meets the budget under the accountant.
+		got := SampledGaussianRDP(sigmaRDP, q).SelfCompose(T).ToDP(total.Delta)
+		if got > total.Eps*1.01 {
+			t.Fatalf("T=%d: calibrated σ yields ε=%v > %v", T, got, total.Eps)
+		}
+		// And barely smaller σ does not (the bisection is tight).
+		slack := SampledGaussianRDP(sigmaRDP*0.99, q).SelfCompose(T).ToDP(total.Delta)
+		if slack <= total.Eps {
+			t.Fatalf("T=%d: σ not tight (0.99σ still meets budget)", T)
+		}
+	}
+	// q = 1 matches the unsubsampled RDP calibration closely.
+	full := SubsampledGaussianSigma(1, 1, total, 100)
+	plain := GaussianSigmaRDP(1, total, 100)
+	if math.Abs(full-plain)/plain > 0.05 {
+		t.Fatalf("q=1 σ=%v far from GaussianSigmaRDP σ=%v", full, plain)
+	}
+}
+
 func TestRDPPanics(t *testing.T) {
 	for name, f := range map[string]func(){
 		"gauss-sigma":   func() { GaussianRDP(0, 1) },
@@ -115,6 +185,10 @@ func TestRDPPanics(t *testing.T) {
 		"self-k":        func() { GaussianRDP(1, 1).SelfCompose(0) },
 		"todp-delta":    func() { GaussianRDP(1, 1).ToDP(0) },
 		"amp-q":         func() { AmplifyBySubsampling(Params{Eps: 1, Delta: 1e-5}, 0) },
+		"sgm-m":         func() { SampledGaussianRDP(0, 0.5) },
+		"sgm-q":         func() { SampledGaussianRDP(1, 0) },
+		"subsigma-q":    func() { SubsampledGaussianSigma(1, 1.5, Params{Eps: 1, Delta: 1e-5}, 10) },
+		"subsigma-T":    func() { SubsampledGaussianSigma(1, 0.1, Params{Eps: 1, Delta: 1e-5}, 0) },
 		"grid-mismatch": func() {
 			a := GaussianRDP(1, 1)
 			b := RDP{Orders: []float64{2}, Eps: []float64{1}}

@@ -16,12 +16,12 @@ var tiny = Config{Reps: 2, Scale: 0.01, Seed: 7}
 
 func TestRegistryComplete(t *testing.T) {
 	// All 11 figures plus the lower-bound check, the ablations, and the
-	// streaming-source sweep.
+	// source-backed sweeps (streaming, dpsgd).
 	want := []string{
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "lowerbound",
 		"abl-estimators", "abl-alg1-vs-alg2", "abl-shrink-k", "abl-selection",
-		"abl-split-vs-full", "streaming",
+		"abl-split-vs-full", "streaming", "dpsgd",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {

@@ -22,8 +22,8 @@ import (
 type RunRequest struct {
 	// Dataset names a pool entry (GET /v1/datasets lists them).
 	Dataset string `json:"dataset"`
-	// Algo is one of "fw", "lasso", "iht", or "sparseopt" — the same set
-	// as cmd/htdp -algo.
+	// Algo is one of "fw", "lasso", "iht", "sparseopt", or "dpsgd" —
+	// the same set as cmd/htdp -algo.
 	Algo string `json:"algo"`
 	// Eps is the privacy budget ε (default 1).
 	Eps float64 `json:"eps,omitempty"`
@@ -34,6 +34,19 @@ type RunRequest struct {
 	T int `json:"T,omitempty"`
 	// SStar is the target sparsity of iht/sparseopt (default 10).
 	SStar int `json:"sstar,omitempty"`
+	// Batch is the dpsgd minibatch size (default n/50, resolved against
+	// the dataset at execution). Only valid with algo "dpsgd".
+	Batch int `json:"batch,omitempty"`
+	// Clip is the dpsgd per-sample ℓ2 clip bound (default 1). Only
+	// valid with algo "dpsgd".
+	Clip float64 `json:"clip,omitempty"`
+	// LR is the dpsgd step size (default 0.1). Only valid with algo
+	// "dpsgd".
+	LR float64 `json:"lr,omitempty"`
+	// Accountant selects the dpsgd noise calibration: "compose" (the
+	// default — amplification lemma plus advanced composition) or "rdp"
+	// (subsampled-Gaussian RDP). Only valid with algo "dpsgd".
+	Accountant string `json:"accountant,omitempty"`
 	// Seed is the base seed of the run's deterministic randomness
 	// (default 1). Identical (dataset, algo, eps, delta, T, sstar, seed)
 	// requests produce bit-identical results.
@@ -63,9 +76,37 @@ func (q RunRequest) Canonical() (RunRequest, error) {
 		return q, fmt.Errorf("dataset is required")
 	}
 	switch q.Algo {
-	case "fw", "lasso", "iht", "sparseopt":
+	case "fw", "lasso", "iht", "sparseopt", "dpsgd":
 	default:
-		return q, fmt.Errorf("unknown algo %q (have fw, lasso, iht, sparseopt)", q.Algo)
+		return q, fmt.Errorf("unknown algo %q (have fw, lasso, iht, sparseopt, dpsgd)", q.Algo)
+	}
+	if q.Algo == "dpsgd" {
+		if q.Batch < 0 {
+			return q, fmt.Errorf("batch %d negative (0 means the n/50 default)", q.Batch)
+		}
+		if q.Clip == 0 {
+			q.Clip = 1
+		}
+		if q.Clip < 0 || math.IsNaN(q.Clip) || math.IsInf(q.Clip, 0) {
+			return q, fmt.Errorf("clip %v outside (0, ∞)", q.Clip)
+		}
+		if q.LR == 0 {
+			q.LR = 0.1
+		}
+		if q.LR < 0 || math.IsNaN(q.LR) || math.IsInf(q.LR, 0) {
+			return q, fmt.Errorf("lr %v outside (0, ∞)", q.LR)
+		}
+		if q.Accountant == "" {
+			q.Accountant = core.AccountantCompose
+		}
+		if q.Accountant != core.AccountantCompose && q.Accountant != core.AccountantRDP {
+			return q, fmt.Errorf("unknown accountant %q (have compose, rdp)", q.Accountant)
+		}
+	} else if q.Batch != 0 || q.Clip != 0 || q.LR != 0 || q.Accountant != "" {
+		// The dpsgd knobs silently ignored on another algorithm would
+		// fragment the cache with dead fields; reject, like the sweep
+		// endpoint rejects a per-request dataset.
+		return q, fmt.Errorf("batch/clip/lr/accountant are only valid with algo dpsgd")
 	}
 	if q.Eps == 0 {
 		q.Eps = 1
@@ -159,6 +200,12 @@ func ExecuteRun(ctx context.Context, src data.Source, q RunRequest) (*RunResult,
 	case "sparseopt":
 		w, err = core.SparseOptSource(src, core.SparseOptOptions{
 			Loss: loss.Squared{}, Eps: q.Eps, Delta: delta, SStar: q.SStar, T: q.T,
+			Parallelism: par, Rng: rng,
+		})
+	case "dpsgd":
+		w, err = core.DPSGDSource(src, core.DPSGDOptions{
+			Loss: loss.Squared{}, Eps: q.Eps, Delta: delta, T: q.T,
+			Batch: q.Batch, Clip: q.Clip, LR: q.LR, Accountant: q.Accountant,
 			Parallelism: par, Rng: rng,
 		})
 	}
